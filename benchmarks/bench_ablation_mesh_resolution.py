@@ -1,0 +1,56 @@
+"""Ablation: mesh resolution vs accuracy and cost.
+
+DESIGN.md fixes the production pitch at 0.4 mm (the paper's R-Mesh keeps
+the resistor count low; Figure 4 credits its 517x speedup to exactly
+this).  This ablation quantifies the accuracy/cost tradeoff of that
+choice on the off-chip DDR3 baseline.
+"""
+
+import time
+
+from repro.designs import off_chip_ddr3
+from repro.pdn import build_stack
+from repro.power import MemoryState
+
+PITCHES = (0.8, 0.6, 0.4, 0.3, 0.2, 0.15)
+
+
+def run_sweep():
+    bench = off_chip_ddr3()
+    state = MemoryState.from_string("0-0-0-2", bench.stack.dram_floorplan)
+    rows = []
+    for pitch in PITCHES:
+        t0 = time.perf_counter()
+        stack = build_stack(bench.stack, bench.baseline, pitch=pitch)
+        ir = stack.dram_max_mv(state)
+        rows.append(
+            {
+                "pitch": pitch,
+                "ir_mv": ir,
+                "resistors": stack.model.num_resistors,
+                "time_s": time.perf_counter() - t0,
+            }
+        )
+    return rows
+
+
+def test_ablation_mesh_resolution(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print("\n== ablation: mesh resolution ==")
+    for r in rows:
+        print(
+            f"  pitch {r['pitch']:.2f} mm: {r['ir_mv']:6.2f} mV, "
+            f"{r['resistors']:7d} resistors, {r['time_s']:.2f}s"
+        )
+    finest = rows[-1]["ir_mv"]
+    production = next(r for r in rows if r["pitch"] == 0.4)
+    # The production pitch is within ~15% of the finest solve at a small
+    # fraction of the resistor count (the Figure 4 tradeoff).
+    assert abs(production["ir_mv"] - finest) / finest < 0.15
+    assert rows[-1]["resistors"] > 5 * production["resistors"]
+    # Successive refinements converge: the step 0.3 -> 0.2 changes the
+    # answer less than 0.8 -> 0.6 does.
+    deltas = [
+        abs(a["ir_mv"] - b["ir_mv"]) for a, b in zip(rows, rows[1:])
+    ]
+    assert deltas[-1] < deltas[0]

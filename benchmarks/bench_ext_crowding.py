@@ -1,0 +1,20 @@
+"""Extension bench: TSV current crowding across design options."""
+
+
+def test_ext_crowding(run_paper_experiment):
+    result = run_paper_experiment("ext_crowding")
+    rows = {r.label: r.model for r in result.rows}
+    base = rows["edge TSVs (baseline)"]
+    many = rows["edge TSVs, 240x"]
+    f2f = rows["F2F pairs"]
+    # More TSVs cut the per-link current far below the baseline's worst.
+    assert many["worst_link_ma"] < base["worst_link_ma"] / 3.0
+    # The F2F bond-via field carries the same total over many more links:
+    # its worst link stays below the discrete-TSV baseline's.
+    assert f2f["links"] > 5 * base["links"]
+    assert f2f["worst_link_ma"] < base["worst_link_ma"]
+    # Crowding is never balanced (factor 1.0) for localized loads.
+    for row in rows.values():
+        assert row["crowding_factor"] > 1.2
+    # The uniform C4 field under an idle-mostly stack shares evenly.
+    assert base["supply_crowding"] < 1.5

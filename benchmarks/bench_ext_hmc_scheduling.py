@@ -1,0 +1,13 @@
+"""Extension bench: IR-aware scheduling on the 16-channel HMC."""
+
+
+def test_ext_hmc_scheduling(run_paper_experiment):
+    result = run_paper_experiment("ext_hmc")
+    rows = {r.label: r.model for r in result.rows}
+    # The IR-blind standard policy wanders into much worse states...
+    assert rows["standard"]["max_ir_mv"] > rows["ir_distr"]["max_ir_mv"]
+    # ...while the IR-aware policies respect their constraint and extract
+    # far more of the HMC's vault-level parallelism.
+    assert rows["ir_distr"]["bandwidth"] > 2.0 * rows["standard"]["bandwidth"]
+    assert rows["ir_fcfs"]["bandwidth"] > rows["standard"]["bandwidth"]
+    assert rows["ir_distr"]["bandwidth"] >= rows["ir_fcfs"]["bandwidth"]

@@ -1,0 +1,17 @@
+"""Figure 4: R-Mesh vs golden reference validation.
+
+Paper: 32.2 mV (R-Mesh) vs 32.6 mV (EPS), 1.3% error, 517x speedup.
+"""
+
+
+def test_fig4_validation(run_paper_experiment):
+    result = run_paper_experiment("fig4")
+    row = result.rows[0]
+    # The production mesh must agree with the fine reference (the paper's
+    # 1.3% is vs EPS on the *same* netlist; ours is a discretization
+    # convergence error, so the bar is looser) and be substantially
+    # faster.
+    assert row.model["error_pct"] < 15.0
+    assert row.model["speedup"] > 3.0
+    # Two banks interleaving land in the paper's magnitude range.
+    assert 20.0 < row.model["rmesh_mv"] < 45.0

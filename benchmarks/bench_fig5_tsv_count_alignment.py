@@ -1,0 +1,20 @@
+"""Figure 5: TSV count sweep and C4-TSV alignment impact."""
+
+
+def test_fig5_tsv_count_alignment(run_paper_experiment):
+    result = run_paper_experiment("fig5")
+    count_rows = [r for r in result.rows if r.label.startswith("TC=")]
+    # More TSVs -> lower IR, with saturating returns.
+    off = [r.model["off_aligned_mv"] for r in count_rows]
+    assert off == sorted(off, reverse=True)
+    gains = [off[i] - off[i + 1] for i in range(len(off) - 1)]
+    assert gains[-1] < gains[0]  # saturation
+    # Alignment always helps, most at small counts (on-chip).
+    on_gains = [
+        1 - r.model["on_aligned_mv"] / r.model["on_misaligned_mv"]
+        for r in count_rows
+    ]
+    assert all(g > 0 for g in on_gains)
+    assert on_gains[0] >= on_gains[-1]
+    # Headline claim: up to ~51.5% on-chip.
+    assert result.rows[-1].model["reduction_pct"] > 25.0

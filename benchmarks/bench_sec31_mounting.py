@@ -1,0 +1,10 @@
+"""Section 3.1: off-chip 30.03 mV vs coupled on-chip 64.41 mV."""
+
+
+def test_sec31_mounting(run_paper_experiment):
+    result = run_paper_experiment("sec31")
+    for row in result.rows:
+        # Every IR value within 15% of the paper's.
+        assert abs(row.deviation_percent("ir_mv")) < 15.0
+    on = result.row("on-chip, PDNs coupled")
+    assert abs(on.deviation_percent("logic_mv")) < 15.0

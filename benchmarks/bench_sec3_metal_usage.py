@@ -1,0 +1,12 @@
+"""Section 3: 2x PDN metal usage reduces IR drop by (more than) ~40%."""
+
+
+def test_sec3_metal_usage(run_paper_experiment):
+    result = run_paper_experiment("sec3_metal")
+    final = result.rows[-1]
+    assert final.model["reduction_pct"] > 33.0
+    # Reductions grow monotonically with metal scale.
+    reductions = [
+        r.model["reduction_pct"] for r in result.rows if "reduction_pct" in r.model
+    ]
+    assert reductions == sorted(reductions)

@@ -1,0 +1,11 @@
+"""Section 6.1: regression quality and the brute-force time reduction."""
+
+
+def test_sec61_regression(run_paper_experiment):
+    result = run_paper_experiment("sec61")
+    for row in result.rows:
+        assert row.model["r_squared"] > 0.97
+        # Sampling + regression is far below brute force.  (Wide I/O's
+        # pinned TSV count shrinks its brute-force space, so the margin
+        # is smaller there.)
+        assert row.model["sample_hours"] < row.model["projected_brute_hours"] / 10.0

@@ -1,0 +1,8 @@
+"""Table 1: benchmark specifications."""
+
+
+def test_table1_specs(run_paper_experiment):
+    result = run_paper_experiment("table1")
+    for row in result.rows:
+        assert row.model["banks"] == row.paper["banks"]
+        assert row.model["speed_mbps"] == row.paper["speed_mbps"]

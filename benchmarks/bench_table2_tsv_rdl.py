@@ -1,0 +1,10 @@
+"""Table 2: TSV location and RDL design options."""
+
+
+def test_table2_tsv_rdl(run_paper_experiment):
+    result = run_paper_experiment("table2")
+    for row in result.rows:
+        assert abs(row.deviation_percent("ir_mv")) < 15.0
+    # The paper's cost ordering: (b) lowest, (a) highest among non-RDL...
+    costs = {r.label[:3]: r.model["cost"] for r in result.rows}
+    assert costs["(b)"] < costs["(d)"] < costs["(c)"]

@@ -1,0 +1,14 @@
+"""Table 3: dedicated TSVs and backside wire bonding."""
+
+
+def test_table3_wirebond(run_paper_experiment):
+    result = run_paper_experiment("table3")
+    coupled, dedicated, off = result.rows
+    # Wire bonding halves the coupled on-chip IR (paper -53.4%).
+    assert coupled.model["delta_pct"] < -35.0
+    # ...but only marginally improves designs with direct supply
+    # (paper -12.8% and -9.76%).
+    assert -25.0 < dedicated.model["delta_pct"] < -2.0
+    assert -25.0 < off.model["delta_pct"] < -2.0
+    for row in result.rows:
+        assert abs(row.deviation_percent("baseline_mv")) < 15.0

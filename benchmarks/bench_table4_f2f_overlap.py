@@ -1,0 +1,26 @@
+"""Table 4: intra-pair overlapping vs F2F PDN-sharing benefit."""
+
+
+def test_table4_f2f_overlap(run_paper_experiment):
+    result = run_paper_experiment("table4")
+    deltas = {r.label.split(" ")[0]: r.model["delta_pct"] for r in result.rows}
+    # Overlapping states: marginal F2F benefit (paper -3.3% / -3.5%).
+    assert deltas["0-0-2a-2a"] > -12.0
+    assert deltas["0-0-2b-2b"] > -12.0
+    # Fully separated pairs: large benefit (paper -44.2% / -42.5%).
+    assert deltas["0-2a-0-2a"] < -30.0
+    assert deltas["2a-0-0-2a"] < -30.0
+    # The benefit grows with separation: c and d (far columns) both beat
+    # b (adjacent column).  c vs d may swap by a small margin because the
+    # d column sits right on the well-supplied edge ring.
+    assert deltas["0-0-2c-2a"] < deltas["0-0-2b-2a"]
+    assert deltas["0-0-2d-2a"] < deltas["0-0-2b-2a"]
+    # F2B magnitudes near the paper's -- except the b/c-position rows:
+    # the paper's die has an asymmetry that makes its inner positions
+    # *better* supplied, while our symmetric edge ring makes them worse
+    # (documented deviation, see EXPERIMENTS.md).  The overlap trend,
+    # the table's point, holds either way.
+    for row in result.rows:
+        if "2b-2b" in row.label or "2c" in row.label or "2b-2a" in row.label:
+            continue
+        assert abs(row.deviation_percent("f2b_mv")) < 25.0

@@ -1,0 +1,26 @@
+"""Table 6: read scheduling policy comparison.
+
+Paper: standard 109.3 us / 0.114 reads/clk / 30.03 mV,
+IR-aware FCFS 84.68 / 0.148 / 23.98, DistR 75.85 / 0.165 / 23.98.
+"""
+
+
+def test_table6_policies(run_paper_experiment):
+    result = run_paper_experiment("table6")
+    rows = {r.label: r for r in result.rows}
+
+    # The standard and FCFS rows reproduce the paper closely.
+    assert abs(rows["standard"].deviation_percent("runtime_us")) < 10.0
+    assert abs(rows["ir_fcfs"].deviation_percent("runtime_us")) < 10.0
+    # DistR is the fastest policy (it over-delivers vs the paper by
+    # saturating the arrival bandwidth; see EXPERIMENTS.md).
+    assert (
+        rows["ir_distr"].model["runtime_us"]
+        <= rows["ir_fcfs"].model["runtime_us"]
+        < rows["standard"].model["runtime_us"]
+    )
+    # The IR-aware policies respect and nearly reach the 24 mV constraint.
+    for label in ("ir_fcfs", "ir_distr"):
+        assert 22.0 < rows[label].model["max_ir_mv"] <= 24.0
+    # The standard policy is IR-blind and exceeds it.
+    assert rows["standard"].model["max_ir_mv"] > 24.0

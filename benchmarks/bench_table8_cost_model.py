@@ -1,0 +1,10 @@
+"""Table 8: the cost model reproduces every stated term exactly."""
+
+import pytest
+
+
+def test_table8_cost_model(run_paper_experiment):
+    result = run_paper_experiment("table8")
+    for row in result.rows:
+        for key, paper_value in row.paper.items():
+            assert row.model[key] == pytest.approx(paper_value, abs=0.002)

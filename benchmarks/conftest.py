@@ -1,0 +1,49 @@
+"""Benchmark harness helpers.
+
+Every bench runs one experiment driver end to end (rounds=1 -- these are
+scientific reproductions, not micro-benchmarks), prints the regenerated
+table next to the paper's numbers, and archives it under
+``benchmarks/results/``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Set ``REPRO_FAST=1`` to use the reduced sweeps of every experiment.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def fast_mode() -> bool:
+    return os.environ.get("REPRO_FAST", "0") == "1"
+
+
+@pytest.fixture
+def run_paper_experiment(benchmark):
+    """Run an experiment under pytest-benchmark and archive its table."""
+
+    def runner(experiment_id: str, **checks):
+        from repro.experiments import run_experiment
+
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"fast": fast_mode()},
+            rounds=1,
+            iterations=1,
+        )
+        text = result.fmt()
+        print("\n" + text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+        return result
+
+    return runner

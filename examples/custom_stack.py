@@ -1,0 +1,91 @@
+"""Bring your own design: a custom die, stack and power model.
+
+Shows the library as a downstream user would extend it: define a new
+2-channel mobile DRAM die floorplan, give it a power model, stack eight
+of them on a host logic die, and study bonding/wire-bond options --
+none of which appears in the paper's four benchmarks.
+
+Run:  python examples/custom_stack.py
+"""
+
+from repro import Bonding, MemoryState, Mounting, PDNConfig, StackSpec, build_stack
+from repro.floorplan import Block, BlockType, DieFloorplan, t2_logic_floorplan
+from repro.floorplan.blocks import grid_rects
+from repro.geometry import Rect
+from repro.power.model import DramPowerSpec, T2_LOGIC_POWER
+
+
+def my_die_floorplan() -> DieFloorplan:
+    """A small 5 x 5 mm die: 2 channels x 4 banks around a center spine."""
+    outline = Rect(0.0, 0.0, 5.0, 5.0)
+    blocks = [Block(Rect(0.0, 2.2, 5.0, 2.8), BlockType.IO, "spine")]
+    for half, (y0, y1), first in (("lo", (0.15, 2.2), 0), ("hi", (2.8, 4.85), 4)):
+        cells = grid_rects(Rect(0.15, y0, 4.85, y1), cols=4, rows=1, gap_x=0.1)[0]
+        for col, cell in enumerate(cells):
+            bank_id = first + col
+            blocks.append(
+                Block(
+                    cell,
+                    BlockType.BANK,
+                    f"bank{bank_id}",
+                    bank_id=bank_id,
+                    channel=0 if bank_id < 4 else 1,
+                )
+            )
+    return DieFloorplan("my_dram", outline, blocks)
+
+
+MY_POWER = DramPowerSpec(
+    standby_mw=10.0,
+    io_base_mw=6.0,
+    io_dyn_mw=12.0,
+    bank_static_mw=14.0,
+    bank_dyn_mw=20.0,
+    decoder_fraction=0.3,
+)
+
+
+def main() -> None:
+    fp = my_die_floorplan()
+    spec = StackSpec(
+        name="my_8_high_stack",
+        dram_floorplan=fp,
+        dram_power=MY_POWER,
+        num_dram_dies=8,  # taller than anything in the paper
+        mounting=Mounting.ON_CHIP,
+        logic_floorplan=t2_logic_floorplan(),
+        logic_power=T2_LOGIC_POWER,
+    )
+
+    # A custom design point (still within the Table 8 legal space).
+    config = PDNConfig(m2_usage=0.15, m3_usage=0.30, tsv_count=64)
+
+    # Worst case: both channels active on the top die.
+    state = MemoryState.from_counts((0,) * 7 + (4,), fp)
+
+    print(f"custom stack: {spec.num_dram_dies} dies of {fp.name}, "
+          f"{fp.num_banks} banks / {fp.num_channels} channels each")
+    for label, cfg in [
+        ("F2B baseline", config),
+        ("F2B + dedicated TSVs", config.with_options(dedicated_tsv=True)),
+        ("F2F pairs", config.with_options(bonding=Bonding.F2F)),
+        ("F2B + wire bonds", config.with_options(wire_bond=True)),
+    ]:
+        stack = build_stack(spec, cfg)
+        result = stack.solve_state(state)
+        print(
+            f"  {label:24s} DRAM max {result.dram_max_mv:6.2f} mV "
+            f"(logic {result.logic_max_mv:5.2f} mV, "
+            f"{result.total_power_mw:7.1f} mW)"
+        )
+
+    # Per-die profile of the tall stack under the baseline.
+    stack = build_stack(spec, config)
+    result = stack.solve_state(state)
+    print("\nper-die IR drop up the 8-high stack (F2B):")
+    for die, mv in result.per_die_mv.items():
+        print(f"  {die}: {mv:6.2f} mV")
+
+
+if __name__ == "__main__":
+    main()

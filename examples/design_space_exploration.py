@@ -1,0 +1,53 @@
+"""Design-space exploration and co-optimization (paper section 6).
+
+Samples the Table 8 design space of the off-chip stacked DDR3 with full
+R-Mesh solves, fits the regression surrogate, and runs the IR-cost
+co-optimization across the alpha tradeoff -- the Table 9 flow end to end.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+import time
+
+from repro import benchmark
+from repro.opt import CoOptimizer, ir_cost
+
+
+def main() -> None:
+    bench = benchmark("ddr3_off")
+    print(f"co-optimizing: {bench.title}")
+
+    # Building the optimizer samples the design space (R-Mesh solves) and
+    # fits the surrogate (the paper's MATLAB regression step).
+    t0 = time.perf_counter()
+    opt = CoOptimizer(bench)
+    report = opt.surrogate.report
+    print(
+        f"sampled {report.num_samples} design points over "
+        f"{report.num_combos} discrete combos in {report.sample_time_s:.1f}s"
+    )
+    print(f"surrogate quality: RMSE {report.rmse_mv:.2f} mV, "
+          f"R^2 {report.r_squared:.4f}")
+    print(f"(projected exhaustive search: {opt.brute_force_size():,} solves)")
+
+    # The baseline the industry ships today.
+    base = opt.baseline_result()
+    print(f"\nbaseline  {base.table9_row()}")
+
+    # Sweep the IR-vs-cost tradeoff (Equation 1).
+    for result in opt.alpha_sweep(alphas=(0.0, 0.3, 1.0)):
+        print(f"optimal   {result.table9_row()}")
+
+    # How much headroom does the preferred tradeoff buy?
+    best = opt.optimize(0.3)
+    base_obj = ir_cost(base.verified_ir_mv, base.cost, 0.3)
+    best_obj = ir_cost(best.verified_ir_mv, best.cost, 0.3)
+    print(
+        f"\nalpha=0.3 objective: baseline {base_obj:.3f} -> optimal "
+        f"{best_obj:.3f} ({100 * (1 - best_obj / base_obj):.1f}% better)"
+    )
+    print(f"total exploration time {time.perf_counter() - t0:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Quickstart: solve the IR drop of a 3D DRAM stack.
+
+Builds the paper's off-chip stacked-DDR3 baseline, solves the default
+IDD7 memory state (two banks interleaving on the top die), and shows how
+design and packaging options move the number.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Bonding, MemoryState, benchmark, build_stack
+
+
+def main() -> None:
+    # 1. Pick a benchmark: the off-chip stacked DDR3 of Kang et al.
+    bench = benchmark("ddr3_off")
+    print(f"benchmark: {bench.title}")
+    print(f"  die: {bench.stack.dram_floorplan.outline.width:.1f} x "
+          f"{bench.stack.dram_floorplan.outline.height:.1f} mm, "
+          f"{bench.stack.dram_floorplan.num_banks} banks, "
+          f"{bench.stack.num_dram_dies} dies")
+
+    # 2. Build the industry-baseline PDN (Table 9 "Baseline" row).
+    stack = build_stack(bench.stack, bench.baseline)
+    print(f"  network: {stack.model.num_nodes} nodes, "
+          f"{stack.model.num_resistors} resistors")
+
+    # 3. Solve the worst-case read state ("0-0-0-2": two banks active on
+    #    the top die, the paper's default IDD7 state).
+    state = MemoryState.from_string("0-0-0-2", bench.stack.dram_floorplan)
+    result = stack.solve_state(state)
+    print(f"\nbaseline {result}")
+    for die, mv in result.per_die_mv.items():
+        print(f"  {die}: {mv:6.2f} mV")
+
+    # 4. Try the paper's packaging solutions.
+    for label, config in [
+        ("F2F + B2B bonding (PDN sharing)",
+         bench.baseline.with_options(bonding=Bonding.F2F)),
+        ("backside wire bonding",
+         bench.baseline.with_options(wire_bond=True)),
+        ("2x PDN metal usage",
+         bench.baseline.with_options(m2_usage=0.20, m3_usage=0.40)),
+    ]:
+        ir = build_stack(bench.stack, config).dram_max_mv(state)
+        delta = 100.0 * (ir / result.dram_max_mv - 1.0)
+        print(f"{label:38s} {ir:6.2f} mV ({delta:+.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

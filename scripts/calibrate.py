@@ -1,0 +1,142 @@
+"""Calibration harness: print model outputs against every paper anchor.
+
+Run after touching repro/tech/calibration.py or repro/power/model.py:
+
+    python scripts/calibrate.py
+
+Each line shows  anchor-name  paper-value  ->  model-value.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.floorplan import ddr3_die_floorplan, t2_logic_floorplan
+from repro.pdn import (
+    Bonding,
+    BumpLocation,
+    Mounting,
+    PDNConfig,
+    RDLScope,
+    StackSpec,
+    TSVLocation,
+    build_stack,
+)
+from repro.pdn.stackup import build_single_die_stack
+from repro.power import MemoryState
+from repro.power.model import DDR3_POWER, T2_LOGIC_POWER
+
+
+def row(name: str, paper: float, model: float) -> None:
+    err = (model - paper) / paper * 100.0 if paper else float("nan")
+    print(f"{name:45s} paper {paper:8.2f}  model {model:8.2f}  ({err:+6.1f}%)")
+
+
+def main() -> None:
+    fp = ddr3_die_floorplan()
+    logic_fp = t2_logic_floorplan()
+
+    off_spec = StackSpec("ddr3_off", fp, DDR3_POWER, 4, Mounting.OFF_CHIP)
+    on_spec = StackSpec(
+        "ddr3_on", fp, DDR3_POWER, 4, Mounting.ON_CHIP, logic_fp, T2_LOGIC_POWER
+    )
+    base = PDNConfig()
+    s0002 = MemoryState.from_string("0-0-0-2", fp)
+
+    # --- 2D anchors --------------------------------------------------------
+    two_d = build_single_die_stack(fp, DDR3_POWER)
+    one_bank = MemoryState(((0,),))
+    two_banks = MemoryState(((0, 1),))  # the "left two banks" of Figure 4
+    row("2D one-bank read (mV)", 22.5, two_d.dram_max_mv(one_bank))
+    row("2D two-bank interleave (mV)", 32.2, two_d.dram_max_mv(two_banks))
+
+    # --- mounting ----------------------------------------------------------
+    off = build_stack(off_spec, base)
+    row("off-chip F2B baseline 0-0-0-2", 30.03, off.dram_max_mv(s0002))
+    on = build_stack(on_spec, base.with_options(dedicated_tsv=True))
+    res_on_ded = on.solve_state(s0002)
+    row("on-chip dedicated TSV", 31.18, res_on_ded.dram_max_mv)
+    on_coupled = build_stack(on_spec, base)
+    res_on = on_coupled.solve_state(s0002)
+    row("on-chip coupled", 64.41, res_on.dram_max_mv)
+    row("logic self noise", 50.05, res_on.logic_max_mv)
+
+    # --- packaging ----------------------------------------------------------
+    f2f = build_stack(off_spec, base.with_options(bonding=Bonding.F2F))
+    row("off-chip F2F+B2B 0-0-0-2", 17.18, f2f.dram_max_mv(s0002))
+    on_wb = build_stack(on_spec, base.with_options(wire_bond=True))
+    row("on-chip wire-bonded", 30.04, on_wb.dram_max_mv(s0002))
+    on_ded_wb = build_stack(
+        on_spec, base.with_options(dedicated_tsv=True, wire_bond=True)
+    )
+    row("on-chip dedicated + WB", 27.18, on_ded_wb.dram_max_mv(s0002))
+    off_wb_ded = build_stack(off_spec, base.with_options(wire_bond=True))
+    row("off-chip wire-bonded", 27.10, off_wb_ded.dram_max_mv(s0002))
+
+    # --- metal usage ---------------------------------------------------------
+    dbl = build_stack(off_spec, base.with_options(m2_usage=0.20, m3_usage=0.40))
+    v = dbl.dram_max_mv(s0002)
+    print(
+        f"{'2x metal usage reduction':45s} paper >40%      "
+        f"model {100 * (1 - v / off.dram_max_mv(s0002)):6.1f}%  ({v:.2f} mV)"
+    )
+
+    # --- Table 2: TSV location and RDL ---------------------------------------
+    t2a = off  # edge TSV, bumps match (baseline)
+    t2b = build_stack(off_spec, base.with_options(tsv_location=TSVLocation.CENTER,
+                                                  bump_location=BumpLocation.CENTER))
+    t2c = build_stack(off_spec, base.with_options(bump_location=BumpLocation.CENTER,
+                                                  rdl=RDLScope.ALL))
+    t2d = build_stack(off_spec, base.with_options(tsv_location=TSVLocation.CENTER,
+                                                  bump_location=BumpLocation.CENTER,
+                                                  rdl=RDLScope.ALL))
+    row("Table2a edge+match", 30.03, t2a.dram_max_mv(s0002))
+    row("Table2b center+center", 50.76, t2b.dram_max_mv(s0002))
+    row("Table2c edge+center+RDL", 38.46, t2c.dram_max_mv(s0002))
+    row("Table2d center+center+RDL", 49.36, t2d.dram_max_mv(s0002))
+
+    # --- Table 4 subset (F2F overlap) -----------------------------------------
+    st_22aa = MemoryState.from_string("0-0-2a-2a", fp)
+    st_2a02a = MemoryState.from_string("0-2a-0-2a", fp)
+    row("0-0-2a-2a F2B", 28.14, off.dram_max_mv(st_22aa))
+    row("0-0-2a-2a F2F", 27.21, f2f.dram_max_mv(st_22aa))
+    row("0-2a-0-2a F2B", 27.32, off.dram_max_mv(st_2a02a))
+    row("0-2a-0-2a F2F", 15.24, f2f.dram_max_mv(st_2a02a))
+
+    # --- Table 5 subset ----------------------------------------------------------
+    st_2000 = MemoryState.from_string("2-0-0-0", fp)
+    st_2222 = MemoryState.from_string("2-2-2-2", fp)
+    row("2-0-0-0 F2B", 26.26, off.dram_max_mv(st_2000))
+    row("0-0-0-2 F2F", 17.18, f2f.dram_max_mv(s0002))
+    row("2-2-2-2 F2B", 24.82, off.dram_max_mv(st_2222))
+    row("2-2-2-2 F2F", 23.57, f2f.dram_max_mv(st_2222))
+
+
+
+
+
+def benchmarks_section() -> None:
+    """Table 9 anchors: baseline and alpha=0 rows for all four designs."""
+    from repro.designs import all_benchmarks
+    from repro.pdn import build_stack
+
+    paper_baseline = {"ddr3_off": 30.03, "ddr3_on": 31.18, "wideio": 13.62, "hmc": 47.90}
+    paper_alpha0 = {"ddr3_off": 88.73, "ddr3_on": 117.6, "wideio": 110.2, "hmc": 459.7}
+    for key, b in all_benchmarks().items():
+        state = b.reference_state()
+        base = build_stack(b.stack, b.baseline)
+        row(f"{key} baseline (Table 9)", paper_baseline[key], base.dram_max_mv(state))
+        lo_tc = max(15, b.tsv_count_range[0])
+        cfg0 = b.baseline.with_options(
+            m2_usage=0.10, m3_usage=0.10, tsv_count=lo_tc,
+            tsv_location=TSVLocation.CENTER, dedicated_tsv=False,
+            bonding=Bonding.F2B, rdl=RDLScope.NONE, wire_bond=False,
+            bump_location=BumpLocation.CENTER,
+        )
+        alpha0 = build_stack(b.stack, cfg0)
+        row(f"{key} alpha=0 (Table 9)", paper_alpha0[key], alpha0.dram_max_mv(state))
+
+
+if __name__ == "__main__":
+    main()
+    benchmarks_section()

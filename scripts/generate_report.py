@@ -1,0 +1,55 @@
+"""Generate a markdown reproduction report.
+
+Two modes:
+
+    python scripts/generate_report.py --archived     # bundle benchmarks/results/*.txt
+    python scripts/generate_report.py table2 table3  # re-run experiments (fast)
+
+Writes to stdout, or to --output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments import registry, run_experiment
+from repro.reporting import archived_tables_to_markdown, results_to_markdown
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        choices=sorted(registry) + [[]],
+        help="experiment ids to (re)run; omit with --archived",
+    )
+    parser.add_argument(
+        "--archived",
+        action="store_true",
+        help="bundle the archived bench tables instead of re-running",
+    )
+    parser.add_argument("--full", action="store_true", help="full sweeps")
+    parser.add_argument("--output", type=Path, help="write to a file")
+    args = parser.parse_args(argv)
+
+    if args.archived:
+        results_dir = Path(__file__).parent.parent / "benchmarks" / "results"
+        text = archived_tables_to_markdown(results_dir)
+    else:
+        ids = args.experiments or sorted(registry)
+        results = [run_experiment(i, fast=not args.full) for i in ids]
+        text = results_to_markdown(results)
+
+    if args.output:
+        args.output.write_text(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

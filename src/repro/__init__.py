@@ -1,0 +1,66 @@
+"""repro: a 3D DRAM DC power-integrity co-optimization platform.
+
+A from-scratch reproduction of Peng et al., "Design, Packaging, and
+Architectural Policy Co-optimization for DC Power Integrity in 3D DRAM"
+(DAC 2015).  The package provides:
+
+* block-level floorplans and calibrated power models for the paper's four
+  3D DRAM benchmarks (:mod:`repro.floorplan`, :mod:`repro.power`,
+  :mod:`repro.designs`);
+* a parametric PDN generator over the Table 8 design space
+  (:mod:`repro.pdn`);
+* the R-Mesh sparse IR-drop engine with a fine-grid golden reference
+  (:mod:`repro.rmesh`);
+* a cycle-accurate memory controller simulator with JEDEC-standard and
+  IR-drop-aware scheduling policies (:mod:`repro.controller`,
+  :mod:`repro.dram`);
+* the cost model, regression surrogate, and IR-cost co-optimizer
+  (:mod:`repro.cost`, :mod:`repro.regress`, :mod:`repro.opt`);
+* experiment drivers regenerating every table and figure of the paper's
+  evaluation (:mod:`repro.experiments`, ``repro3d`` CLI).
+
+Quick start::
+
+    from repro import benchmark, build_stack, MemoryState
+
+    bench = benchmark("ddr3_off")
+    stack = build_stack(bench.stack, bench.baseline)
+    state = MemoryState.from_string("0-0-0-2", bench.stack.dram_floorplan)
+    print(stack.solve_state(state))
+"""
+
+from repro.designs import BenchmarkSpec, all_benchmarks, benchmark
+from repro.pdn import (
+    Bonding,
+    BumpLocation,
+    Mounting,
+    PDNConfig,
+    PDNStack,
+    RDLScope,
+    StackSpec,
+    TSVLocation,
+    build_stack,
+)
+from repro.power import MemoryState
+from repro.rmesh import IRDropResult, StackSolver
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BenchmarkSpec",
+    "all_benchmarks",
+    "benchmark",
+    "PDNConfig",
+    "PDNStack",
+    "StackSpec",
+    "TSVLocation",
+    "Bonding",
+    "RDLScope",
+    "BumpLocation",
+    "Mounting",
+    "build_stack",
+    "MemoryState",
+    "IRDropResult",
+    "StackSolver",
+    "__version__",
+]

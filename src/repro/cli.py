@@ -1,0 +1,111 @@
+"""Command-line interface: run paper experiments from the shell.
+
+Examples::
+
+    repro3d list                  # available experiments
+    repro3d run table6            # one experiment (fast variant)
+    repro3d run table9 --full     # full (slow) variant
+    repro3d all                   # every experiment, fast variants
+    repro3d solve ddr3_off 0-0-0-2 --f2f   # ad-hoc IR solve
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.designs import all_benchmarks, benchmark
+from repro.experiments import registry, run_experiment
+from repro.pdn.config import Bonding
+from repro.pdn.stackup import build_stack
+from repro.power.state import MemoryState
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("available experiments:")
+    for exp_id in sorted(registry):
+        print(f"  {exp_id}")
+    print("\nbenchmarks:", ", ".join(sorted(all_benchmarks())))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_experiment(args.experiment, fast=not args.full)
+    print(result.fmt())
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    for exp_id in sorted(registry):
+        result = run_experiment(exp_id, fast=not args.full)
+        print(result.fmt())
+        print()
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    bench = benchmark(args.benchmark)
+    config = bench.baseline
+    if args.f2f:
+        config = config.with_options(bonding=Bonding.F2F)
+    if args.wirebond:
+        config = config.with_options(wire_bond=True)
+    stack = build_stack(bench.stack, config)
+    state = (
+        MemoryState.from_string(args.state, bench.stack.dram_floorplan)
+        if args.state
+        else bench.reference_state()
+    )
+    result = stack.solve_state(state)
+    print(f"{bench.title} [{config.label()}]")
+    print(f"  {result}")
+    for die, mv in result.per_die_mv.items():
+        print(f"  {die}: {mv:.2f} mV")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the repro3d argument parser (exposed for tests/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro3d",
+        description="3D DRAM DC power-integrity co-optimization platform "
+        "(DAC'15 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and benchmarks").set_defaults(
+        func=_cmd_list
+    )
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment", choices=sorted(registry))
+    run_p.add_argument(
+        "--full", action="store_true", help="full sweeps (slower)"
+    )
+    run_p.set_defaults(func=_cmd_run)
+
+    all_p = sub.add_parser("all", help="run every experiment")
+    all_p.add_argument("--full", action="store_true")
+    all_p.set_defaults(func=_cmd_all)
+
+    solve_p = sub.add_parser("solve", help="ad-hoc IR-drop solve")
+    solve_p.add_argument("benchmark", choices=sorted(all_benchmarks()))
+    solve_p.add_argument(
+        "state", nargs="?", help='memory state, e.g. "0-0-0-2" (default: '
+        "the benchmark's reference state)"
+    )
+    solve_p.add_argument("--f2f", action="store_true", help="F2F bonding")
+    solve_p.add_argument("--wirebond", action="store_true", help="add bond wires")
+    solve_p.set_defaults(func=_cmd_solve)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

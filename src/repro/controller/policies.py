@@ -1,0 +1,232 @@
+"""Read scheduling policies (paper section 5.2).
+
+A policy answers two questions each cycle:
+
+1. in what priority order should queued requests be considered, and
+2. may a new bank activation issue on die ``d`` right now?
+
+``StandardJEDEC`` answers (2) with the DDR3 tRRD/tFAW rules -- applied per
+channel, because the standard controller treats the stack as one rank and
+is "not aware of 3D stacking" (section 5.2).  The IR-drop-aware policies
+answer it with the look-up table: activation is allowed whenever the
+resulting memory state stays under the IR-drop constraint.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Deque, List, Optional, Sequence, Tuple
+
+from repro.controller.lut import IRDropLUT
+from repro.controller.request import ReadRequest
+from repro.dram.timing import TimingParams
+from repro.errors import ConfigurationError
+
+
+class ReadPolicy(ABC):
+    """Base class: scheduling order + activation admission."""
+
+    name: str = "base"
+
+    def reset(self) -> None:
+        """Clear any per-run state (called once per simulation)."""
+
+    @abstractmethod
+    def order(
+        self,
+        queued: Sequence[ReadRequest],
+        active_counts: Tuple[int, ...],
+        is_ready=None,
+    ) -> List[ReadRequest]:
+        """Queued requests in the priority order to consider this cycle.
+
+        ``is_ready`` (optional callable request -> bool) tells whether a
+        request's target row is already open, i.e. whether it would issue
+        as a READ rather than needing a new activation."""
+
+    @abstractmethod
+    def may_activate(
+        self, die: int, now: int, active_counts: Tuple[int, ...]
+    ) -> bool:
+        """May an ACT issue on ``die`` at ``now`` given current counts?
+
+        ``active_counts`` counts banks that are active *before* the new
+        activation.
+        """
+
+    def on_activate(self, die: int, now: int) -> None:
+        """Notification that an ACT issued (for window bookkeeping)."""
+
+    def may_read(self, die: int, now: int, active_counts: Tuple[int, ...]) -> bool:
+        """May a READ issue in the current state?  The paper's condition
+        (3) applies to every request sent to memory, so an IR-aware
+        controller holds reads while the state violates the constraint
+        (e.g. after banks elsewhere closed and raised this die's I/O
+        share).  The standard policy is IR-blind and always reads."""
+        return True
+
+    #: how many waiting requests the activation stage may consider per
+    #: channel per cycle.  The controller issues opportunistic READs to
+    #: open rows out of order, but row activations follow the policy's
+    #: priority with only this much lookahead, so inadmissible
+    #: high-priority requests partially block the activation slot.
+    act_lookahead: int = 4
+
+    def act_candidates(
+        self,
+        non_ready: Sequence[ReadRequest],
+        active_counts: Tuple[int, ...],
+    ) -> List[ReadRequest]:
+        """Waiting requests considered for a new activation this cycle,
+        best first.  FCFS-style policies look at the oldest few; DistR
+        re-prioritizes toward the least-loaded die, escaping head-of-line
+        blocking when the oldest requests' dies are constrained."""
+        return list(non_ready[: self.act_lookahead])
+
+    def must_shed(self, active_counts: Tuple[int, ...]) -> bool:
+        """Should the controller close banks to leave a violating state?
+        Escape hatch for states reached by drift (bank closures elsewhere
+        raising the surviving dies' I/O activity)."""
+        return False
+
+    def max_ir_of_state(self, counts: Tuple[int, ...]) -> Optional[float]:
+        """IR drop the policy attributes to a state (None if unaware)."""
+        return None
+
+
+class StandardJEDEC(ReadPolicy):
+    """JEDEC DDR3 standard policy: tRRD + tFAW, FCFS order.
+
+    The paper compares against "JEDEC DDR3 standard policy with a tRRD of
+    8 and a tFAW of 32".  Both windows are enforced across the whole
+    channel (the controller sees one rank and cannot exploit 3D die-level
+    parallelism -- precisely its weakness).
+    """
+
+    name = "standard"
+    #: a plain JEDEC controller reorders far less aggressively than the
+    #: paper's smart IR-aware queue.
+    act_lookahead: int = 2
+
+    def __init__(self, timing: TimingParams) -> None:
+        self.timing = timing
+        self._last_act: int = -(10**9)
+        self._act_history: Deque[int] = deque()
+
+    def reset(self) -> None:
+        self._last_act = -(10**9)
+        self._act_history.clear()
+
+    def order(
+        self,
+        queued: Sequence[ReadRequest],
+        active_counts: Tuple[int, ...],
+        is_ready=None,
+    ) -> List[ReadRequest]:
+        return list(queued)  # queue keeps arrival order: FCFS
+
+    def may_activate(
+        self, die: int, now: int, active_counts: Tuple[int, ...]
+    ) -> bool:
+        if now < self._last_act + self.timing.tRRD:
+            return False
+        # Four-activate window: at most 4 ACTs in any tFAW span.
+        while self._act_history and self._act_history[0] <= now - self.timing.tFAW:
+            self._act_history.popleft()
+        return len(self._act_history) < 4
+
+    def on_activate(self, die: int, now: int) -> None:
+        self._last_act = now
+        self._act_history.append(now)
+
+    def earliest_activate(self, now: int) -> int:
+        """Earliest cycle an ACT could become legal (event-skip helper)."""
+        candidates = [self._last_act + self.timing.tRRD]
+        if len(self._act_history) >= 4:
+            candidates.append(self._act_history[-4] + self.timing.tFAW)
+        return max(max(candidates), now)
+
+
+class IRAwareFCFS(ReadPolicy):
+    """IR-drop-aware policy, first-come-first-served order.
+
+    Activation is admitted iff the post-activation memory state's IR drop
+    (from the R-Mesh look-up table) meets the constraint.
+    """
+
+    name = "ir_fcfs"
+
+    def __init__(self, lut: IRDropLUT, constraint_mv: float) -> None:
+        if constraint_mv <= 0.0:
+            raise ConfigurationError("IR-drop constraint must be positive")
+        self.lut = lut
+        self.constraint_mv = constraint_mv
+
+    def order(
+        self,
+        queued: Sequence[ReadRequest],
+        active_counts: Tuple[int, ...],
+        is_ready=None,
+    ) -> List[ReadRequest]:
+        return list(queued)
+
+    def may_activate(
+        self, die: int, now: int, active_counts: Tuple[int, ...]
+    ) -> bool:
+        new_counts = tuple(
+            c + 1 if d == die else c for d, c in enumerate(active_counts)
+        )
+        if max(new_counts) > self.lut.max_banks_per_die:
+            return False
+        return self.lut.allows(new_counts, self.constraint_mv)
+
+    def may_read(self, die: int, now: int, active_counts: Tuple[int, ...]) -> bool:
+        return self.lut.allows(active_counts, self.constraint_mv)
+
+    def must_shed(self, active_counts: Tuple[int, ...]) -> bool:
+        return sum(active_counts) > 0 and not self.lut.allows(
+            active_counts, self.constraint_mv
+        )
+
+    def max_ir_of_state(self, counts: Tuple[int, ...]) -> Optional[float]:
+        return self.lut.lookup(counts)
+
+
+class IRAwareDistR(IRAwareFCFS):
+    """IR-drop-aware distributed-read policy.
+
+    "The read request, whose target die has the least number of active
+    banks, has the highest priority" (section 5.2): balancing reads across
+    dies raises die-level parallelism under the same IR-drop constraint.
+    """
+
+    name = "ir_distr"
+
+    def order(
+        self,
+        queued: Sequence[ReadRequest],
+        active_counts: Tuple[int, ...],
+        is_ready=None,
+    ) -> List[ReadRequest]:
+        # Requests whose row is already open issue first (they drain the
+        # queue without new activations); among the rest, the request
+        # whose target die has the fewest active banks wins.  Stable, so
+        # equal-priority requests keep arrival order.
+        if is_ready is None:
+            return sorted(queued, key=lambda r: active_counts[r.die])
+        return sorted(
+            queued,
+            key=lambda r: (not is_ready(r), active_counts[r.die]),
+        )
+
+    def act_candidates(
+        self,
+        non_ready: Sequence[ReadRequest],
+        active_counts: Tuple[int, ...],
+    ) -> List[ReadRequest]:
+        """Distributed read: the same lookahead window, re-prioritized so
+        the request whose target die has the fewest active banks comes
+        first (stable toward arrival order within a die-load class)."""
+        window = list(non_ready[: self.act_lookahead])
+        return sorted(window, key=lambda r: active_counts[r.die])

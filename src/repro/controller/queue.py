@@ -1,0 +1,76 @@
+"""The controller's bounded priority queue.
+
+"Our memory controller has a priority queue of size 32 so that it can
+smartly schedule the requests for the best performance" (section 2.3).
+The queue preserves arrival order internally; scheduling *policies* decide
+the priority in which entries are considered each cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.controller.request import ReadRequest
+from repro.errors import SimulationError
+
+
+class RequestQueue:
+    """Bounded FIFO container with removal by identity."""
+
+    def __init__(self, depth: int = 32) -> None:
+        if depth < 1:
+            raise SimulationError("queue depth must be >= 1")
+        self.depth = depth
+        self._items: List[ReadRequest] = []
+        self.peak_occupancy = 0
+        self._occupancy_cycles = 0
+        self._samples = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[ReadRequest]:
+        return iter(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.depth
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def push(self, request: ReadRequest) -> None:
+        """Append an arriving request; raises on overflow."""
+        if self.full:
+            raise SimulationError("queue overflow: push on a full queue")
+        self._items.append(request)
+        self.peak_occupancy = max(self.peak_occupancy, len(self._items))
+
+    def remove(self, request: ReadRequest) -> None:
+        """Remove a completed request by identity."""
+        try:
+            self._items.remove(request)
+        except ValueError:
+            raise SimulationError(
+                f"request {request.req_id} not in queue"
+            ) from None
+
+    def in_arrival_order(self) -> List[ReadRequest]:
+        """Entries oldest-first (the FCFS priority)."""
+        return list(self._items)
+
+    def targets_bank_row(self, die: int, bank: int, row: int) -> bool:
+        """Any queued request for this exact (die, bank, row)?"""
+        return any(
+            r.die == die and r.bank == bank and r.row == row for r in self._items
+        )
+
+    def sample_occupancy(self, weight: int = 1) -> None:
+        """Record occupancy for the average-depth statistic."""
+        self._occupancy_cycles += len(self._items) * weight
+        self._samples += weight
+
+    @property
+    def mean_occupancy(self) -> float:
+        return self._occupancy_cycles / self._samples if self._samples else 0.0

@@ -1,0 +1,454 @@
+"""Cycle-by-cycle memory controller simulation engine.
+
+Implements the paper's simulator (section 2.3): per-bank FSMs, per-channel
+command/data buses, a bounded priority queue, nominal arrivals every N
+cycles (stalling when the queue is full), idle-bank auto-close, and a
+pluggable scheduling policy.
+
+For each cycle the engine considers queued requests in the policy's
+priority order and issues at most one command per channel:
+
+* READ  -- when the target bank has the right row open and the data bus
+  will be free for the burst;
+* ACT   -- when the bank is idle, the die's interleave limit (max two
+  banks per die, to avoid charge-pump overdraw) holds, and the policy's
+  admission rule (tRRD/tFAW or the IR-drop LUT) passes;
+* PRE   -- when the open row no longer matches any queued request, or the
+  bank has been idle past the close window ("if an active bank does not
+  receive further read requests in a few cycles, the bank is closed to
+  reduce IR drop").
+
+The engine skips cycles in which nothing can change (event skipping), so a
+10,000-request run finishes in well under a second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.controller.lut import IRDropLUT
+from repro.controller.policies import ReadPolicy, StandardJEDEC
+from repro.controller.queue import RequestQueue
+from repro.controller.request import ReadRequest
+from repro.dram.bank import Bank, BankState
+from repro.dram.channel import ChannelBus
+from repro.dram.timing import TimingParams
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Structural parameters of the simulated memory system."""
+
+    timing: TimingParams
+    num_dies: int = 4
+    banks_per_die: int = 8
+    num_channels: int = 1
+    queue_depth: int = 32
+    #: interleave limit: max simultaneously active banks per die
+    #: ("interleaving mode reads two banks per die in maximum to avoid
+    #: current overdrawn from charge pump", section 2.3).
+    max_banks_per_die: int = 2
+    #: optional per-(die, channel) interleave limit for multi-channel
+    #: parts (Wide I/O, HMC): the charge-pump limit is per channel there,
+    #: while max_banks_per_die caps the die aggregate.
+    max_banks_per_channel: Optional[int] = None
+    #: idle cycles after which an open bank is precharged.
+    close_window: int = 8
+    #: issue periodic per-die refreshes (tREFI / tRFC).  Off by default:
+    #: the paper's study is refresh-free; enable for realism studies.
+    refresh_enabled: bool = False
+
+    def channel_of(self, bank: int) -> int:
+        """Bank -> channel mapping (banks striped across channels)."""
+        return bank * self.num_channels // self.banks_per_die
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation run."""
+
+    policy_name: str
+    cycles: int
+    runtime_us: float
+    completed: int
+    bandwidth_reads_per_clk: float
+    max_ir_mv: Optional[float]
+    activations: int
+    precharges: int
+    refreshes: int
+    state_occupancy: Dict[Tuple[int, ...], int]
+    mean_queue_depth: float
+    mean_latency_cycles: float
+    finished: bool
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        ir = f"{self.max_ir_mv:.2f} mV" if self.max_ir_mv is not None else "n/a"
+        return (
+            f"{self.policy_name}: {self.runtime_us:.2f} us, "
+            f"{self.bandwidth_reads_per_clk:.3f} reads/clk, max IR {ir}"
+        )
+
+
+class MemoryControllerSim:
+    """One simulation run: a workload through a policy on a memory system."""
+
+    def __init__(
+        self,
+        config: SimConfig,
+        policy: ReadPolicy,
+        workload: Sequence[ReadRequest],
+        report_lut: Optional[IRDropLUT] = None,
+    ) -> None:
+        """``report_lut``: used only to *report* the worst IR drop over
+        visited states (so the standard policy, which is IR-blind, still
+        gets an honest max-IR column as in Table 6)."""
+        self.config = config
+        self.policy = policy
+        self.workload = list(workload)
+        self.report_lut = report_lut
+        for req in self.workload:
+            if not (0 <= req.die < config.num_dies):
+                raise SimulationError(f"request {req.req_id}: die {req.die} out of range")
+            if not (0 <= req.bank < config.banks_per_die):
+                raise SimulationError(f"request {req.req_id}: bank {req.bank} out of range")
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _active_counts(self, banks: List[List[Bank]], now: int) -> Tuple[int, ...]:
+        counts = []
+        for die_banks in banks:
+            n = 0
+            for bank in die_banks:
+                bank.sync(now)
+                if bank.is_active():
+                    n += 1
+            counts.append(n)
+        return tuple(counts)
+
+    # -- main loop ------------------------------------------------------------------
+
+    def run(self, max_cycles: int = 5_000_000) -> SimResult:
+        """Simulate until every request completes (or ``max_cycles``)."""
+        cfg = self.config
+        self.policy.reset()
+        banks = [
+            [Bank(die, b, cfg.timing) for b in range(cfg.banks_per_die)]
+            for die in range(cfg.num_dies)
+        ]
+        channels = {
+            c: ChannelBus(c, cfg.timing) for c in range(cfg.num_channels)
+        }
+        queue = RequestQueue(cfg.queue_depth)
+        pending = 0  # index of next workload request to enter the queue
+        completed = 0
+        activations = 0
+        precharges = 0
+        refreshes = 0
+        # Refresh bookkeeping: deadlines staggered across dies, and the
+        # cycle until which a refreshing die's banks are unavailable.
+        next_refresh = [
+            (die + 1) * cfg.timing.tREFI // cfg.num_dies
+            for die in range(cfg.num_dies)
+        ]
+        refresh_blocked_until = [0] * cfg.num_dies
+        last_activity: Dict[Tuple[int, int], int] = {}
+        state_occupancy: Dict[Tuple[int, ...], int] = {}
+        latency_sum = 0
+        read_states = set()  # states in effect when a READ issued
+        command_states = set()  # states created by ACT commands
+        now = 0
+        prev_now = 0
+        last_state: Optional[Tuple[int, ...]] = None
+
+        total = len(self.workload)
+        while completed < total:
+            if now >= max_cycles:
+                break
+
+            # --- arrivals (stall when the queue is full) -------------------
+            while (
+                pending < total
+                and not queue.full
+                and self.workload[pending].arrival_cycle <= now
+            ):
+                queue.push(self.workload[pending])
+                pending += 1
+
+            counts = self._active_counts(banks, now)
+            # Occupancy accounting: the state held since prev_now.
+            if last_state is not None and now > prev_now:
+                state_occupancy[last_state] = (
+                    state_occupancy.get(last_state, 0) + now - prev_now
+                )
+                queue.sample_occupancy(now - prev_now)
+            prev_now = now
+            last_state = counts
+
+            issued_any = False
+            used_channels = set()
+
+            # --- refresh (per die, staggered deadlines) -------------------
+            refresh_due = [
+                cfg.refresh_enabled and now >= next_refresh[die]
+                for die in range(cfg.num_dies)
+            ]
+            if cfg.refresh_enabled:
+                for die in range(cfg.num_dies):
+                    if not refresh_due[die]:
+                        continue
+                    die_banks = banks[die]
+                    for bank in die_banks:
+                        bank.sync(now)
+                    if all(b.state is BankState.IDLE for b in die_banks):
+                        chan_id = cfg.channel_of(0)
+                        chan = channels[chan_id]
+                        if chan_id not in used_channels and chan.can_issue_command(now):
+                            chan.issue_command(now)
+                            used_channels.add(chan_id)
+                            blocked = now + cfg.timing.tRFC
+                            refresh_blocked_until[die] = blocked
+                            for bank in die_banks:
+                                bank.ready_cycle = max(bank.ready_cycle, blocked)
+                            next_refresh[die] += cfg.timing.tREFI
+                            refreshes += 1
+                            issued_any = True
+
+            # --- issue phase ------------------------------------------------
+            # Pass 1: opportunistic READs to open rows, in policy order.
+            # Pass 2: per free channel, ONE activation candidate chosen by
+            # the policy (head-of-line for FCFS, least-loaded-die for
+            # DistR) may ACT, or PRE its bank on a row mismatch.
+            def is_ready(r: ReadRequest) -> bool:
+                bk = banks[r.die][r.bank]
+                bk.sync(now)
+                return bk.state is BankState.ACTIVE and bk.open_row == r.row
+
+            non_ready_by_chan: Dict[int, List[ReadRequest]] = {}
+            for req in self.policy.order(queue.in_arrival_order(), counts, is_ready):
+                chan_id = cfg.channel_of(req.bank)
+                chan = channels[chan_id]
+                bank = banks[req.die][req.bank]
+                bank.sync(now)
+
+                if (
+                    chan_id not in used_channels
+                    and bank.can_read(now, req.row)
+                    and (
+                        chan.can_issue_write(now)
+                        if req.is_write
+                        else chan.can_issue_read(now)
+                    )
+                    and self.policy.may_read(req.die, now, counts)
+                    and not (cfg.refresh_enabled and refresh_due[req.die])
+                ):
+                    if req.is_write:
+                        end = chan.issue_write(now)
+                        bank.write(now, req.row)
+                    else:
+                        end = chan.issue_read(now)
+                        bank.read(now, req.row)
+                    req.issue_cycle = now
+                    req.complete_cycle = end
+                    latency_sum += end - req.arrival_cycle
+                    queue.remove(req)
+                    completed += 1
+                    read_states.add(counts)
+                    last_activity[(req.die, req.bank)] = now
+                    used_channels.add(chan_id)
+                    issued_any = True
+                    continue
+                if not is_ready(req):
+                    non_ready_by_chan.setdefault(chan_id, []).append(req)
+
+            for chan_id, waiting in non_ready_by_chan.items():
+                if chan_id in used_channels:
+                    continue
+                chan = channels[chan_id]
+                if not chan.can_issue_command(now):
+                    continue
+                for req in self.policy.act_candidates(waiting, counts):
+                    bank = banks[req.die][req.bank]
+                    bank.sync(now)
+
+                    if bank.can_activate(now):
+                        if counts[req.die] >= cfg.max_banks_per_die:
+                            continue
+                        if cfg.max_banks_per_channel is not None:
+                            in_channel = sum(
+                                1
+                                for b in banks[req.die]
+                                if b.is_active()
+                                and cfg.channel_of(b.bank_id) == chan_id
+                            )
+                            if in_channel >= cfg.max_banks_per_channel:
+                                continue
+                        if cfg.refresh_enabled and (
+                            refresh_due[req.die]
+                            or now < refresh_blocked_until[req.die]
+                        ):
+                            continue  # die is refreshing or about to
+                        if not self.policy.may_activate(req.die, now, counts):
+                            continue
+                        bank.activate(now, req.row)
+                        chan.issue_command(now)
+                        self.policy.on_activate(req.die, now)
+                        counts = tuple(
+                            c + 1 if d == req.die else c
+                            for d, c in enumerate(counts)
+                        )
+                        command_states.add(counts)
+                        activations += 1
+                        last_activity[(req.die, req.bank)] = now
+                        used_channels.add(chan_id)
+                        issued_any = True
+                        break
+
+                    if (
+                        bank.state is BankState.ACTIVE
+                        and bank.open_row != req.row
+                        and bank.can_precharge(now)
+                        and not queue.targets_bank_row(
+                            req.die, req.bank, bank.open_row
+                        )
+                    ):
+                        bank.precharge(now)
+                        chan.issue_command(now)
+                        counts = tuple(
+                            c - 1 if d == req.die else c
+                            for d, c in enumerate(counts)
+                        )
+                        precharges += 1
+                        used_channels.add(chan_id)
+                        issued_any = True
+                        break
+
+            # --- idle close ("a few cycles" without reads) ------------------
+            # Under a violating drift state the IR-aware policies *shed*
+            # banks even if queued requests still want their rows.
+            shedding = self.policy.must_shed(counts)
+            for die_banks in banks:
+                for bank in die_banks:
+                    bank.sync(now)
+                    if bank.state is not BankState.ACTIVE:
+                        continue
+                    chan_id = cfg.channel_of(bank.bank_id)
+                    if chan_id in used_channels:
+                        continue
+                    idle_since = last_activity.get((bank.die, bank.bank_id), bank.act_cycle)
+                    force_close = cfg.refresh_enabled and refresh_due[bank.die]
+                    if (
+                        (force_close or now - idle_since >= cfg.close_window)
+                        and bank.can_precharge(now)
+                        and (
+                            shedding
+                            or force_close
+                            or not queue.targets_bank_row(
+                                bank.die, bank.bank_id, bank.open_row
+                            )
+                        )
+                        and channels[chan_id].can_issue_command(now)
+                    ):
+                        bank.precharge(now)
+                        channels[chan_id].issue_command(now)
+                        precharges += 1
+                        used_channels.add(chan_id)
+                        issued_any = True
+
+            # --- advance time ------------------------------------------------
+            if issued_any:
+                now += 1
+                continue
+            now = self._next_event(now, banks, channels, queue, pending, total, last_activity, next_refresh, refresh_blocked_until)
+
+        # Final occupancy flush.
+        if last_state is not None and now > prev_now:
+            state_occupancy[last_state] = (
+                state_occupancy.get(last_state, 0) + now - prev_now
+            )
+
+        finished = completed >= total
+        cycles = now
+        max_ir = self._max_visited_ir(read_states | command_states)
+        return SimResult(
+            policy_name=self.policy.name,
+            cycles=cycles,
+            runtime_us=cfg.timing.cycles_to_us(cycles),
+            completed=completed,
+            bandwidth_reads_per_clk=completed / cycles if cycles else 0.0,
+            max_ir_mv=max_ir,
+            activations=activations,
+            precharges=precharges,
+            refreshes=refreshes,
+            state_occupancy=state_occupancy,
+            mean_queue_depth=queue.mean_occupancy,
+            mean_latency_cycles=latency_sum / completed if completed else 0.0,
+            finished=finished,
+        )
+
+    def _max_visited_ir(self, states) -> Optional[float]:
+        """Worst IR over states in effect while commands/reads flowed.
+
+        States reached only by drift (banks closing elsewhere) with no
+        reads issued carry almost no dynamic current, so they are not
+        counted -- matching the paper's accounting, where the IR-aware
+        policy's reported maximum stays below its constraint."""
+        if self.report_lut is None:
+            return None
+        worst = 0.0
+        for counts in states:
+            if sum(counts) > 0:
+                worst = max(worst, self.report_lut.lookup(counts))
+        return worst
+
+    def _next_event(
+        self,
+        now: int,
+        banks: List[List[Bank]],
+        channels: Dict[int, ChannelBus],
+        queue: RequestQueue,
+        pending: int,
+        total: int,
+        last_activity: Dict[Tuple[int, int], int],
+        next_refresh: List[int],
+        refresh_blocked_until: List[int],
+    ) -> int:
+        """Earliest future cycle at which anything can change."""
+        candidates: List[int] = []
+        if pending < total and not queue.full:
+            candidates.append(max(self.workload[pending].arrival_cycle, now + 1))
+        for die_banks in banks:
+            for bank in die_banks:
+                nxt = bank.next_interesting_cycle(now)
+                if nxt is not None:
+                    candidates.append(nxt)
+                # Close-window deadlines count as events too: an ACTIVE
+                # bank becomes closeable once its idle window elapses.
+                if bank.state is BankState.ACTIVE:
+                    idle_since = last_activity.get(
+                        (bank.die, bank.bank_id), bank.act_cycle
+                    )
+                    candidates.append(idle_since + self.config.close_window)
+        for chan in channels.values():
+            if chan.command_free_cycle > now:
+                candidates.append(chan.command_free_cycle)
+            if chan.data_free_cycle > now:
+                candidates.append(chan.next_data_slot(now))
+        if isinstance(self.policy, StandardJEDEC):
+            earliest = self.policy.earliest_activate(now)
+            if earliest > now:
+                candidates.append(earliest)
+        if self.config.refresh_enabled:
+            candidates.extend(c for c in next_refresh if c > now)
+            candidates.extend(c for c in refresh_blocked_until if c > now)
+        future = [c for c in candidates if c > now]
+        if not future:
+            if queue.empty and pending >= total:
+                # All work drained; only in-flight bursts remain.
+                return now + 1
+            raise SimulationError(
+                f"simulation stalled at cycle {now}: queue depth "
+                f"{len(queue)}, {pending}/{total} arrived"
+            )
+        return min(future)

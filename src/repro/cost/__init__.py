@@ -1,0 +1,19 @@
+"""Cost estimation model (paper Table 8)."""
+
+from repro.cost.model import (
+    CostBreakdown,
+    config_cost,
+    m2_cost,
+    m3_cost,
+    tsv_count_cost,
+    tsv_location_cost,
+)
+
+__all__ = [
+    "CostBreakdown",
+    "config_cost",
+    "m2_cost",
+    "m3_cost",
+    "tsv_count_cost",
+    "tsv_location_cost",
+]

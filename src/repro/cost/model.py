@@ -1,0 +1,116 @@
+"""The Table 8 cost model.
+
+Every technology parameter contributes a cost term:
+
+=============  =================  ============
+Solution       Input range        Cost range
+=============  =================  ============
+M2 VDD usage   10% - 20%          0.025 - 0.05
+M3 VDD usage   10% - 40%          0.025 - 0.10
+Power TSV #    15 - 480           0.078 - 0.44
+Dedicated TSV  yes / no           0.06 / 0
+Bonding style  F2B / F2F          0.045 / 0.06
+RDL layer      yes / no           0.05 / 0
+Wire bonding   yes / no           0.03 / 0
+TSV location   C / E / D          0 / 0.5xTC / 1xTC
+=============  =================  ============
+
+"Except for the TSV count (TC), the cost of which is calculated by a
+square root function, other terms are proportional to inputs"
+(section 6.1).  Fitting those statements to the stated ranges gives
+``cost_M = 0.25 * usage`` and ``cost_TC = 0.0201 * sqrt(TC)``; with a
+stand-alone package adder of 0.057 for the off-chip stacked DDR3, the
+model reproduces every Cost column entry of Table 9 to within ~0.01.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.pdn.config import Bonding, PDNConfig, TSVLocation
+
+#: Proportionality constant of metal-usage cost (0.10 -> 0.025).
+METAL_COST_PER_USAGE = 0.25
+#: Square-root constant of TSV-count cost (15 -> 0.078, 480 -> 0.44).
+TSV_COST_COEFF = 0.0201
+#: Fixed option costs.
+DEDICATED_TSV_COST = 0.06
+BONDING_COST = {Bonding.F2B: 0.045, Bonding.F2F: 0.06}
+RDL_COST = 0.05
+WIRE_BOND_COST = 0.03
+#: TSV-location multiplier applied to the TSV-count cost.
+TSV_LOCATION_FACTOR = {
+    TSVLocation.CENTER: 0.0,
+    TSVLocation.EDGE: 0.5,
+    TSVLocation.DISTRIBUTED: 1.0,
+}
+
+
+def m2_cost(usage: float) -> float:
+    """Cost of the M2 VDD usage (proportional)."""
+    if usage <= 0.0:
+        raise ConfigurationError("usage must be positive")
+    return METAL_COST_PER_USAGE * usage
+
+
+def m3_cost(usage: float) -> float:
+    """Cost of the M3 VDD usage (proportional)."""
+    if usage <= 0.0:
+        raise ConfigurationError("usage must be positive")
+    return METAL_COST_PER_USAGE * usage
+
+
+def tsv_count_cost(count: int) -> float:
+    """Cost of the power TSV count (square-root law)."""
+    if count < 1:
+        raise ConfigurationError("TSV count must be >= 1")
+    return TSV_COST_COEFF * math.sqrt(count)
+
+
+def tsv_location_cost(location: TSVLocation, count: int) -> float:
+    """Cost of the TSV location style, proportional to the TC cost.
+
+    Center TSVs are free (no routing blockage on the die below); edge
+    TSVs pay half the TC cost again in keep-out zones; distributed TSVs
+    (between banks) pay the full TC cost again (Table 8).
+    """
+    return TSV_LOCATION_FACTOR[location] * tsv_count_cost(count)
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Per-term costs of one configuration."""
+
+    terms: Dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.terms.values())
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        parts = ", ".join(f"{k}={v:.3f}" for k, v in self.terms.items() if v)
+        return f"cost {self.total:.3f} ({parts})"
+
+
+def config_cost(config: PDNConfig, package_cost: float = 0.0) -> CostBreakdown:
+    """Total cost of a design point.
+
+    ``package_cost`` is the stand-alone package adder (0.057 for the
+    off-chip stacked DDR3, 0 for parts that ride a host die or supply
+    their own base logic die; see :class:`repro.designs.BenchmarkSpec`).
+    """
+    terms = {
+        "M2": m2_cost(config.m2_usage),
+        "M3": m3_cost(config.m3_usage),
+        "TC": tsv_count_cost(config.tsv_count),
+        "TL": tsv_location_cost(config.tsv_location, config.tsv_count),
+        "TD": DEDICATED_TSV_COST if config.dedicated_tsv else 0.0,
+        "BD": BONDING_COST[config.bonding],
+        "RL": RDL_COST if config.rdl.enabled else 0.0,
+        "WB": WIRE_BOND_COST if config.wire_bond else 0.0,
+        "package": package_cost,
+    }
+    return CostBreakdown(terms=terms)

@@ -1,0 +1,283 @@
+"""The four 3D DRAM benchmark designs (paper Table 1 and Figure 1).
+
+Each :class:`BenchmarkSpec` bundles the physical stack description, the
+Table 9 baseline configuration, the design-space restrictions of Table 8's
+footnotes, the memory state used for IR-drop evaluation during
+co-optimization, and the Table 1 metadata.
+
+=================  ==================  ==========  ==========  =========
+Benchmark          Stacked DDR3        (on-chip)   Wide I/O    HMC
+=================  ==================  ==========  ==========  =========
+Stand-alone        yes                 no          no          yes
+Host die           none                T2          T2          HMC logic
+Banks per die      8                   8           16          32
+Channels           1                   1           4           16
+Speed (Mbps/pin)   1600                1600        200         2500
+Data width         8                   8           512         512
+3D IC benefit      capacity            capacity    low power   bandwidth
+Target app         PC & laptop         PC/laptop   mobile      GPU/server
+=================  ==================  ==========  ==========  =========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.floorplan import (
+    ddr3_die_floorplan,
+    hmc_dram_die_floorplan,
+    hmc_logic_floorplan,
+    t2_logic_floorplan,
+    wideio_die_floorplan,
+)
+from repro.pdn.config import (
+    Bonding,
+    BumpLocation,
+    Mounting,
+    PDNConfig,
+    RDLScope,
+    TSVLocation,
+)
+from repro.pdn.stackup import StackSpec
+from repro.power.model import (
+    DDR3_POWER,
+    HMC_LOGIC_POWER,
+    HMC_POWER,
+    T2_LOGIC_POWER,
+    WIDEIO_POWER,
+)
+from repro.power.state import MemoryState
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One benchmark: physical stack + design-space rules + metadata."""
+
+    key: str
+    title: str
+    stack: StackSpec
+    baseline: PDNConfig
+    #: memory-state counts used as the IR evaluation point in section 6
+    #: (worst-case read state of the design's normal operating mode).
+    reference_counts: Tuple[int, ...]
+    #: Table 8 footnotes: legal TSV locations for this benchmark.
+    allowed_tsv_locations: Tuple[TSVLocation, ...]
+    #: TSV count range; Wide I/O pins it at exactly 160, HMC needs >= 160.
+    tsv_count_range: Tuple[int, int] = (15, 480)
+    #: Whether the dedicated-TSV option exists (stand-alone stacks have no
+    #: host die to bypass).
+    dedicated_tsv_available: bool = True
+    #: Stand-alone parts pay for their own package (Table 9 cost offsets).
+    package_cost: float = 0.0
+    table1: Dict[str, str] = field(default_factory=dict)
+
+    def reference_state(self) -> MemoryState:
+        """The IR-drop evaluation state (edge worst-case placement)."""
+        return MemoryState.from_counts(
+            self.reference_counts, self.stack.dram_floorplan
+        )
+
+    def validate_config(self, config: PDNConfig) -> None:
+        """Raise if a configuration violates this benchmark's rules."""
+        if config.tsv_location not in self.allowed_tsv_locations:
+            raise ConfigurationError(
+                f"{self.key}: TSV location {config.tsv_location.value} not "
+                f"allowed (options: "
+                f"{[t.value for t in self.allowed_tsv_locations]})"
+            )
+        lo, hi = self.tsv_count_range
+        if not lo <= config.tsv_count <= hi:
+            raise ConfigurationError(
+                f"{self.key}: TSV count {config.tsv_count} outside [{lo}, {hi}]"
+            )
+        if config.dedicated_tsv and not self.dedicated_tsv_available:
+            raise ConfigurationError(
+                f"{self.key}: stand-alone design has no host die, dedicated "
+                "TSVs do not apply"
+            )
+
+
+def off_chip_ddr3() -> BenchmarkSpec:
+    """Stacked DDR3 as a stand-alone (off-chip) part [Kang, JSSC'10]."""
+    fp = ddr3_die_floorplan()
+    return BenchmarkSpec(
+        key="ddr3_off",
+        title="Stacked DDR3, off-chip",
+        stack=StackSpec(
+            name="ddr3_off",
+            dram_floorplan=fp,
+            dram_power=DDR3_POWER,
+            num_dram_dies=4,
+            mounting=Mounting.OFF_CHIP,
+        ),
+        baseline=PDNConfig(
+            m2_usage=0.10,
+            m3_usage=0.20,
+            tsv_count=33,
+            tsv_location=TSVLocation.EDGE,
+            bonding=Bonding.F2B,
+        ),
+        reference_counts=(0, 0, 0, 2),
+        allowed_tsv_locations=(TSVLocation.CENTER, TSVLocation.EDGE),
+        dedicated_tsv_available=False,
+        package_cost=0.057,
+        table1={
+            "capacity": "4Gb x 4 dies = 16Gb",
+            "stand_alone": "yes",
+            "logic_die": "none",
+            "speed_mbps": "1600",
+            "data_width": "8",
+            "benefit": "capacity",
+            "target": "PC & laptop",
+        },
+    )
+
+
+def on_chip_ddr3() -> BenchmarkSpec:
+    """Stacked DDR3 mounted on an OpenSPARC T2 host (on-chip)."""
+    fp = ddr3_die_floorplan()
+    return BenchmarkSpec(
+        key="ddr3_on",
+        title="Stacked DDR3, on-chip",
+        stack=StackSpec(
+            name="ddr3_on",
+            dram_floorplan=fp,
+            dram_power=DDR3_POWER,
+            num_dram_dies=4,
+            mounting=Mounting.ON_CHIP,
+            logic_floorplan=t2_logic_floorplan(),
+            logic_power=T2_LOGIC_POWER,
+        ),
+        baseline=PDNConfig(
+            m2_usage=0.10,
+            m3_usage=0.20,
+            tsv_count=33,
+            tsv_location=TSVLocation.EDGE,
+            dedicated_tsv=True,
+            bonding=Bonding.F2B,
+        ),
+        reference_counts=(0, 0, 0, 2),
+        allowed_tsv_locations=(TSVLocation.CENTER, TSVLocation.EDGE),
+        table1={
+            "capacity": "4Gb x 4 dies = 16Gb",
+            "stand_alone": "no",
+            "logic_die": "T2 (9.0x8.0 mm)",
+            "speed_mbps": "1600",
+            "data_width": "8",
+            "benefit": "capacity",
+            "target": "PC & laptop",
+        },
+    )
+
+
+def wide_io() -> BenchmarkSpec:
+    """Wide I/O mobile DRAM on a T2 host [Kim, JSSC'12].
+
+    JEDEC requires the micro-bumps at the die center, and the power TSV
+    count is fixed at 160 to match the specification (section 6.1).
+    """
+    fp = wideio_die_floorplan()
+    return BenchmarkSpec(
+        key="wideio",
+        title="Wide I/O",
+        stack=StackSpec(
+            name="wideio",
+            dram_floorplan=fp,
+            dram_power=WIDEIO_POWER,
+            num_dram_dies=4,
+            mounting=Mounting.ON_CHIP,
+            logic_floorplan=t2_logic_floorplan(),
+            logic_power=T2_LOGIC_POWER,
+            forced_bump_location=BumpLocation.CENTER,
+        ),
+        baseline=PDNConfig(
+            m2_usage=0.10,
+            m3_usage=0.20,
+            tsv_count=160,
+            tsv_location=TSVLocation.EDGE,
+            dedicated_tsv=True,
+            bonding=Bonding.F2B,
+            rdl=RDLScope.ALL,
+        ),
+        # One die serves all four channels with two interleaved banks each.
+        reference_counts=(0, 0, 0, 8),
+        allowed_tsv_locations=(TSVLocation.CENTER, TSVLocation.EDGE),
+        tsv_count_range=(160, 160),
+        table1={
+            "capacity": "4Gb x 4 dies = 16Gb",
+            "stand_alone": "no",
+            "logic_die": "T2 (9.0x8.0 mm)",
+            "speed_mbps": "200",
+            "data_width": "512",
+            "benefit": "low power",
+            "target": "mobile",
+        },
+    )
+
+
+def hmc() -> BenchmarkSpec:
+    """Hybrid Memory Cube on its own logic die [Wu & Zhang, TVLSI'11].
+
+    High power demands distributed TSVs between banks; at least 160 power
+    TSVs are required for sufficient supply current (section 6.1).
+    """
+    fp = hmc_dram_die_floorplan()
+    return BenchmarkSpec(
+        key="hmc",
+        title="HMC",
+        stack=StackSpec(
+            name="hmc",
+            dram_floorplan=fp,
+            dram_power=HMC_POWER,
+            num_dram_dies=4,
+            mounting=Mounting.ON_CHIP,
+            logic_floorplan=hmc_logic_floorplan(),
+            logic_power=HMC_LOGIC_POWER,
+        ),
+        baseline=PDNConfig(
+            m2_usage=0.10,
+            m3_usage=0.20,
+            tsv_count=384,
+            tsv_location=TSVLocation.EDGE,
+            dedicated_tsv=True,
+            bonding=Bonding.F2B,
+        ),
+        # Heavy traffic spread over all dies: every die reads one bank in
+        # each of 8 vaults (high bandwidth is HMC's defining workload).
+        reference_counts=(8, 8, 8, 8),
+        allowed_tsv_locations=(
+            TSVLocation.CENTER,
+            TSVLocation.EDGE,
+            TSVLocation.DISTRIBUTED,
+        ),
+        tsv_count_range=(160, 480),
+        table1={
+            "capacity": "4Gb x 4 dies = 16Gb",
+            "stand_alone": "yes",
+            "logic_die": "HMC logic (8.8x6.4 mm)",
+            "speed_mbps": "2500",
+            "data_width": "512",
+            "benefit": "bandwidth",
+            "target": "GPU & server",
+        },
+    )
+
+
+def all_benchmarks() -> Dict[str, BenchmarkSpec]:
+    """All four benchmarks keyed by their short name."""
+    return {
+        b.key: b
+        for b in (off_chip_ddr3(), on_chip_ddr3(), wide_io(), hmc())
+    }
+
+
+def benchmark(key: str) -> BenchmarkSpec:
+    """Look one benchmark up by key, with a helpful error."""
+    marks = all_benchmarks()
+    if key not in marks:
+        raise ConfigurationError(
+            f"unknown benchmark {key!r}; choose from {sorted(marks)}"
+        )
+    return marks[key]

@@ -1,0 +1,7 @@
+"""DRAM device models: timing parameters, bank FSMs, channel buses."""
+
+from repro.dram.timing import TimingParams
+from repro.dram.bank import Bank, BankState
+from repro.dram.channel import ChannelBus
+
+__all__ = ["TimingParams", "Bank", "BankState", "ChannelBus"]

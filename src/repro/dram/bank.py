@@ -1,0 +1,148 @@
+"""Per-bank state machine.
+
+A bank cycles IDLE -> ACTIVATING -> ACTIVE -> PRECHARGING -> IDLE.  The
+simulator is cycle-accurate: every transition records the cycle at which
+the next operation becomes legal, and ``can_*`` predicates ask whether an
+operation may issue *now*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dram.timing import TimingParams
+from repro.errors import SimulationError
+
+
+class BankState(enum.Enum):
+    IDLE = "idle"
+    ACTIVATING = "activating"  # row being opened (ACT issued, tRCD running)
+    ACTIVE = "active"  # row open, reads may issue
+    PRECHARGING = "precharging"  # tRP running
+
+
+@dataclass
+class Bank:
+    """One DRAM bank of one die."""
+
+    die: int
+    bank_id: int
+    timing: TimingParams
+    state: BankState = BankState.IDLE
+    open_row: Optional[int] = None
+    act_cycle: int = -(10**9)  # when the current row's ACT issued
+    ready_cycle: int = 0  # when the next op of the current state is legal
+    last_read_cycle: int = -(10**9)  # last column op (read or write)
+    reads_served: int = 0
+    writes_served: int = 0
+
+    # -- predicates -----------------------------------------------------------
+
+    def is_active(self) -> bool:
+        """Active for IR purposes: the row is open or being opened."""
+        return self.state in (BankState.ACTIVATING, BankState.ACTIVE)
+
+    def sync(self, now: int) -> None:
+        """Advance time-based transitions (ACTIVATING->ACTIVE, PRECHARGING->IDLE)."""
+        if self.state is BankState.ACTIVATING and now >= self.ready_cycle:
+            self.state = BankState.ACTIVE
+        elif self.state is BankState.PRECHARGING and now >= self.ready_cycle:
+            self.state = BankState.IDLE
+
+    def can_activate(self, now: int) -> bool:
+        """May an ACT issue now (bank idle, tRP elapsed)?"""
+        self.sync(now)
+        return self.state is BankState.IDLE and now >= self.ready_cycle
+
+    def can_read(self, now: int, row: int) -> bool:
+        """May a READ to ``row`` issue now (row open, tRCD/tCCD met)?"""
+        self.sync(now)
+        return (
+            self.state is BankState.ACTIVE
+            and self.open_row == row
+            and now >= self.ready_cycle
+            and now >= self.last_read_cycle + self.timing.tCCD
+        )
+
+    def can_write(self, now: int, row: int) -> bool:
+        """Same column-command gating as reads (tCCD between column ops)."""
+        return self.can_read(now, row)
+
+    def can_precharge(self, now: int) -> bool:
+        """May the open row close now (tRAS and write-back done)?"""
+        self.sync(now)
+        if self.state is not BankState.ACTIVE:
+            return False
+        # tRAS from ACT, and the row's write-back after the last read must
+        # finish before the row can close (tWR; paper section 2.2).
+        return (
+            now >= self.act_cycle + self.timing.tRAS
+            and now >= self.last_read_cycle + self.timing.tWR
+        )
+
+    def next_interesting_cycle(self, now: int) -> Optional[int]:
+        """Earliest future cycle at which this bank's options change
+        (used by the simulator's event skipping)."""
+        self.sync(now)
+        candidates = []
+        if self.state in (BankState.ACTIVATING, BankState.PRECHARGING):
+            candidates.append(self.ready_cycle)
+        elif self.state is BankState.ACTIVE:
+            candidates.append(max(self.ready_cycle, self.last_read_cycle + self.timing.tCCD))
+            candidates.append(self.act_cycle + self.timing.tRAS)
+            candidates.append(self.last_read_cycle + self.timing.tWR)
+        future = [c for c in candidates if c > now]
+        return min(future) if future else None
+
+    # -- operations ---------------------------------------------------------------
+
+    def activate(self, now: int, row: int) -> None:
+        """Open ``row``; the bank becomes readable after tRCD."""
+        if not self.can_activate(now):
+            raise SimulationError(
+                f"die {self.die} bank {self.bank_id}: illegal ACT at {now} "
+                f"(state {self.state.value})"
+            )
+        self.state = BankState.ACTIVATING
+        self.open_row = row
+        self.act_cycle = now
+        self.ready_cycle = now + self.timing.tRCD
+
+    def read(self, now: int, row: int) -> int:
+        """Issue a read; returns the cycle at which the data burst ends."""
+        if not self.can_read(now, row):
+            raise SimulationError(
+                f"die {self.die} bank {self.bank_id}: illegal READ at {now} "
+                f"(state {self.state.value}, row {self.open_row} vs {row})"
+            )
+        self.last_read_cycle = now
+        self.reads_served += 1
+        return now + self.timing.tCL + self.timing.burst_cycles
+
+    def write(self, now: int, row: int) -> int:
+        """Issue a write; returns the cycle at which the data burst ends.
+
+        Writes share the column-command path with reads but use the write
+        latency tCWL; the tWR window in :meth:`can_precharge` then holds
+        the row open until the array restore completes.
+        """
+        if not self.can_write(now, row):
+            raise SimulationError(
+                f"die {self.die} bank {self.bank_id}: illegal WRITE at {now} "
+                f"(state {self.state.value}, row {self.open_row} vs {row})"
+            )
+        self.last_read_cycle = now  # shared column-op timestamp (tCCD/tWR)
+        self.writes_served += 1
+        return now + self.timing.tCWL + self.timing.burst_cycles
+
+    def precharge(self, now: int) -> None:
+        """Close the open row; the bank idles after tRP."""
+        if not self.can_precharge(now):
+            raise SimulationError(
+                f"die {self.die} bank {self.bank_id}: illegal PRE at {now}"
+            )
+        self.state = BankState.PRECHARGING
+        self.open_row = None
+        self.ready_cycle = now + self.timing.tRP

@@ -1,0 +1,82 @@
+"""Channel command/data bus model.
+
+Each memory channel has one command bus (one command per cycle) and one
+data bus shared by all dies of the stack on that channel.  A read burst
+occupies the data bus for ``burst_cycles`` starting ``tCL`` after the READ
+command; zero-bubble interleaving corresponds to back-to-back bursts
+(tCCD == burst_cycles for DDR3 BL8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.timing import TimingParams
+from repro.errors import SimulationError
+
+
+@dataclass
+class ChannelBus:
+    """Bus occupancy bookkeeping for one channel."""
+
+    channel: int
+    timing: TimingParams
+    data_free_cycle: int = 0  # first cycle the data bus is free
+    command_free_cycle: int = 0
+    bursts: int = 0
+
+    def can_issue_command(self, now: int) -> bool:
+        """Is the 1-command/cycle command bus free this cycle?"""
+        return now >= self.command_free_cycle
+
+    def issue_command(self, now: int) -> None:
+        """Occupy the command bus for one cycle (ACT/PRE/REF)."""
+        if not self.can_issue_command(now):
+            raise SimulationError(
+                f"channel {self.channel}: command bus busy at {now}"
+            )
+        self.command_free_cycle = now + 1
+
+    def can_issue_read(self, now: int) -> bool:
+        """Would a READ issued now find the data bus free for its burst?"""
+        return (
+            self.can_issue_command(now)
+            and now + self.timing.tCL >= self.data_free_cycle
+        )
+
+    def issue_read(self, now: int) -> int:
+        """Occupy the buses for one read; returns the burst-end cycle."""
+        if not self.can_issue_read(now):
+            raise SimulationError(f"channel {self.channel}: data bus conflict at {now}")
+        self.issue_command(now)
+        start = now + self.timing.tCL
+        self.data_free_cycle = start + self.timing.burst_cycles
+        self.bursts += 1
+        return self.data_free_cycle
+
+    def can_issue_write(self, now: int) -> bool:
+        """Would a WRITE issued now find the data bus free for its burst?"""
+        return (
+            self.can_issue_command(now)
+            and now + self.timing.tCWL >= self.data_free_cycle
+        )
+
+    def issue_write(self, now: int) -> int:
+        """Occupy the buses for one write; returns the burst-end cycle."""
+        if not self.can_issue_write(now):
+            raise SimulationError(f"channel {self.channel}: data bus conflict at {now}")
+        self.issue_command(now)
+        start = now + self.timing.tCWL
+        self.data_free_cycle = start + self.timing.burst_cycles
+        self.bursts += 1
+        return self.data_free_cycle
+
+    def next_data_slot(self, now: int) -> int:
+        """Earliest cycle >= now at which a READ would clear the data bus."""
+        return max(now, self.data_free_cycle - self.timing.tCL)
+
+    def utilization(self, total_cycles: int) -> float:
+        """Fraction of cycles the data bus carried bursts."""
+        if total_cycles <= 0:
+            return 0.0
+        return self.bursts * self.timing.burst_cycles / total_cycles

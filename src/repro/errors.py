@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything raised by this package with one clause while still
+distinguishing configuration mistakes from numerical failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent configuration was supplied.
+
+    Examples: a PDN metal usage outside its legal range, a TSV style that a
+    benchmark does not support, a memory state with more active banks than
+    the die has.
+    """
+
+
+class FloorplanError(ReproError):
+    """A floorplan could not be generated or is geometrically invalid."""
+
+
+class MeshError(ReproError):
+    """A resistive mesh could not be built or assembled."""
+
+
+class SolverError(ReproError):
+    """The linear solve failed (singular system, no supply connection, ...)."""
+
+
+class SimulationError(ReproError):
+    """The memory controller simulation reached an inconsistent state."""
+
+
+class RegressionError(ReproError):
+    """Regression fitting failed or produced an unusable model."""
+
+
+class OptimizationError(ReproError):
+    """The co-optimizer could not find any feasible solution."""

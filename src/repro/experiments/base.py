@@ -1,0 +1,108 @@
+"""Experiment framework: results, rows, registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Row:
+    """One table row: a label, the paper's value(s), the model's value(s).
+
+    Values are kept as raw floats (or strings for categorical cells) so
+    benches can assert on them; ``fmt`` renders aligned text.
+    """
+
+    label: str
+    paper: Dict[str, object] = field(default_factory=dict)
+    model: Dict[str, object] = field(default_factory=dict)
+
+    def deviation_percent(self, key: str) -> Optional[float]:
+        """Relative deviation of the model from the paper for one metric."""
+        p = self.paper.get(key)
+        m = self.model.get(key)
+        if isinstance(p, (int, float)) and isinstance(m, (int, float)) and p:
+            return (m - p) / p * 100.0
+        return None
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment driver."""
+
+    experiment_id: str
+    title: str
+    rows: List[Row]
+    notes: List[str] = field(default_factory=list)
+
+    def fmt(self) -> str:
+        """Render as an aligned text table (paper | model | deviation)."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        metric_keys: List[str] = []
+        for row in self.rows:
+            for key in list(row.paper) + list(row.model):
+                if key not in metric_keys:
+                    metric_keys.append(key)
+        width = max((len(r.label) for r in self.rows), default=10) + 2
+        for row in self.rows:
+            cells = []
+            for key in metric_keys:
+                p, m = row.paper.get(key), row.model.get(key)
+                if p is None and m is None:
+                    continue
+                text = f"{key}: "
+                text += _fmt_value(p) if p is not None else "--"
+                if m is not None:
+                    text += f" -> {_fmt_value(m)}"
+                    dev = row.deviation_percent(key)
+                    if dev is not None:
+                        text += f" ({dev:+.1f}%)"
+                cells.append(text)
+            lines.append(f"  {row.label:<{width}} " + " | ".join(cells))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def row(self, label: str) -> Row:
+        """Look a row up by label."""
+        for row in self.rows:
+            if row.label == label:
+                return row
+        raise ConfigurationError(
+            f"{self.experiment_id}: no row labelled {label!r}"
+        )
+
+
+def _fmt_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+#: experiment id -> run callable.
+registry: Dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def register(experiment_id: str):
+    """Decorator registering a driver's run() under an experiment id."""
+
+    def deco(func: Callable[..., ExperimentResult]):
+        if experiment_id in registry:
+            raise ConfigurationError(f"duplicate experiment id {experiment_id}")
+        registry[experiment_id] = func
+        return func
+
+    return deco
+
+
+def run_experiment(experiment_id: str, fast: bool = True) -> ExperimentResult:
+    """Run one experiment by id."""
+    if experiment_id not in registry:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{sorted(registry)}"
+        )
+    return registry[experiment_id](fast=fast)

@@ -1,0 +1,29 @@
+"""Shared helpers for experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.designs import BenchmarkSpec, benchmark
+from repro.pdn.config import PDNConfig
+from repro.pdn.stackup import build_stack
+from repro.power.state import MemoryState
+from repro.tech.calibration import DEFAULT_TECH
+
+
+def solve_design(
+    bench: BenchmarkSpec,
+    config: PDNConfig,
+    state: MemoryState,
+    pitch: Optional[float] = None,
+):
+    """Build a stack for (benchmark, config) and solve one state."""
+    stack = build_stack(bench.stack, config, tech=DEFAULT_TECH, pitch=pitch)
+    return stack.solve_state(state)
+
+
+def ddr3_state(text: str) -> MemoryState:
+    """Parse a stacked-DDR3 memory state string."""
+    return MemoryState.from_string(
+        text, benchmark("ddr3_off").stack.dram_floorplan
+    )

@@ -1,0 +1,88 @@
+"""Extension experiment: IR-drop-aware scheduling on the HMC.
+
+The paper's reference [4] (Shevgoor et al., MICRO'13) characterized the
+bank-activity/IR-drop relationship in an HMC and proposed IR-aware
+request scheduling; the paper itself evaluates policies only on stacked
+DDR3.  This driver closes that loop with the same machinery on the HMC
+benchmark: 16 vault channels, up to 8 active banks per die (2 per
+vault), and an IR-drop LUT computed lazily over the visited states.
+"""
+
+from __future__ import annotations
+
+from repro.controller import (
+    IRAwareDistR,
+    IRAwareFCFS,
+    IRDropLUT,
+    MemoryControllerSim,
+    SimConfig,
+    StandardJEDEC,
+    WorkloadConfig,
+    generate_workload,
+)
+from repro.designs import hmc
+from repro.dram.timing import TimingParams
+from repro.experiments.base import ExperimentResult, Row, register
+from repro.pdn import build_stack
+
+#: constraint as a fraction of the heavy reference state's IR drop.
+CONSTRAINT_FRACTION = 0.90
+
+
+@register("ext_hmc")
+def run(fast: bool = True) -> ExperimentResult:
+    """Run IR-aware scheduling on the HMC (extension)."""
+    bench = hmc()
+    stack = build_stack(bench.stack, bench.baseline)
+    lut = IRDropLUT(stack, max_banks_per_die=8, precompute=False)
+    ref_ir = lut.lookup(bench.reference_state().counts)
+    constraint = CONSTRAINT_FRACTION * ref_ir
+
+    timing = TimingParams.hmc_2500()
+    cfg = SimConfig(
+        timing=timing,
+        num_dies=4,
+        banks_per_die=32,
+        num_channels=16,
+        max_banks_per_die=8,
+        max_banks_per_channel=2,
+    )
+
+    def workload():
+        return generate_workload(
+            WorkloadConfig(
+                num_requests=2000 if fast else 10_000,
+                banks_per_die=32,
+                arrival_interval=1,  # bandwidth part: saturating traffic
+            )
+        )
+
+    rows = []
+    for policy in (
+        StandardJEDEC(timing),
+        IRAwareFCFS(lut, constraint),
+        IRAwareDistR(lut, constraint),
+    ):
+        res = MemoryControllerSim(cfg, policy, workload(), report_lut=lut).run()
+        rows.append(
+            Row(
+                label=policy.name,
+                model={
+                    "runtime_us": res.runtime_us,
+                    "bandwidth": res.bandwidth_reads_per_clk,
+                    "max_ir_mv": res.max_ir_mv,
+                },
+            )
+        )
+    return ExperimentResult(
+        experiment_id="ext_hmc",
+        title="IR-drop-aware scheduling on the HMC (extension)",
+        rows=rows,
+        notes=[
+            f"constraint {constraint:.1f} mV = {CONSTRAINT_FRACTION:.0%} of the "
+            f"8-8-8-8 reference state's {ref_ir:.1f} mV",
+            "the JEDEC-style controller applies tRRD/tFAW per channel-less "
+            "rank and is IR-blind; the IR-aware policies exploit the 16 "
+            "vault channels under the LUT",
+        ],
+    )

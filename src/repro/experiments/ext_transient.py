@@ -1,0 +1,61 @@
+"""Extension experiment: transient droop of an activation burst.
+
+Not a paper table -- quantifies the AC claims of section 4.1 with the RC
+transient solver: the peak droop of a short interleaved-read burst under
+wire-bonding and decoupling-capacitance options, on the coupled on-chip
+design (where the package capacitor is otherwise stranded behind the
+logic die).
+"""
+
+from __future__ import annotations
+
+from repro.designs import on_chip_ddr3
+from repro.experiments.base import ExperimentResult, Row, register
+from repro.pdn import build_stack
+from repro.power import MemoryState
+from repro.rmesh.transient import DecapConfig, TransientSolver
+
+
+@register("ext_transient")
+def run(fast: bool = True) -> ExperimentResult:
+    """Simulate burst droop vs decap/wirebond (extension)."""
+    bench = on_chip_ddr3()
+    fp = bench.stack.dram_floorplan
+    idle = MemoryState.idle(4)
+    active = MemoryState.from_string("0-0-0-2", fp)
+    burst_ns = 20.0
+    decaps = {
+        "small decap": DecapConfig(die_nf_per_mm2=0.2, package_uf=0.05),
+        "large decap": DecapConfig(die_nf_per_mm2=2.0, package_uf=10.0),
+    }
+    rows = []
+    for wb in (False, True):
+        config = bench.baseline.with_options(dedicated_tsv=False, wire_bond=wb)
+        stack = build_stack(bench.stack, config)
+        dc = stack.dram_max_mv(active)
+        for decap_label, decap in decaps.items():
+            solver = TransientSolver(stack, decap, dt_ns=1.0 if fast else 0.5)
+            res = solver.simulate([(idle, 5.0), (active, burst_ns), (idle, 60.0)])
+            rows.append(
+                Row(
+                    label=f"{'wire-bonded' if wb else 'no wirebond'}, {decap_label}",
+                    model={
+                        "burst_peak_mv": res.peak_mv,
+                        "dc_droop_mv": dc,
+                        "suppression_pct": 100.0 * (1 - res.peak_mv / dc),
+                        "settle_ns": res.settling_time_ns(),
+                    },
+                )
+            )
+    return ExperimentResult(
+        experiment_id="ext_transient",
+        title="Burst droop vs wire bonding and decap (extension)",
+        rows=rows,
+        notes=[
+            f"stimulus: {burst_ns:.0f} ns interleaved-read burst (state "
+            "0-0-0-2) from quiescent; RC only, no package inductance",
+            "bond wires + off-chip decap give the lowest peak; a large "
+            "capacitor without bond wires stays stranded behind the "
+            "resistive logic die (section 4.1's AC claim, quantified)",
+        ],
+    )

@@ -1,0 +1,64 @@
+"""Table 2: TSV location and RDL options (Figure 6's four designs).
+
+(a) edge TSVs + matching bumps:        highest cost, 30.03 mV
+(b) center TSVs + center bumps:        lowest cost,  50.76 mV
+(c) edge TSVs + center bumps + RDL:    high cost,    38.46 mV
+(d) center TSVs + center bumps + RDL:  medium cost,  49.36 mV
+"""
+
+from __future__ import annotations
+
+from repro.cost import config_cost
+from repro.designs import off_chip_ddr3
+from repro.experiments.base import ExperimentResult, Row, register
+from repro.experiments.common import solve_design
+from repro.pdn.config import BumpLocation, RDLScope, TSVLocation
+
+PAPER = {
+    "(a) edge + match": 30.03,
+    "(b) center + center": 50.76,
+    "(c) edge + center + RDL": 38.46,
+    "(d) center + center + RDL": 49.36,
+}
+
+
+@register("table2")
+def run(fast: bool = True) -> ExperimentResult:
+    """Evaluate the four TSV/RDL options of Table 2."""
+    bench = off_chip_ddr3()
+    state = bench.reference_state()
+    base = bench.baseline
+    options = {
+        "(a) edge + match": base,
+        "(b) center + center": base.with_options(
+            tsv_location=TSVLocation.CENTER, bump_location=BumpLocation.CENTER
+        ),
+        "(c) edge + center + RDL": base.with_options(
+            bump_location=BumpLocation.CENTER, rdl=RDLScope.ALL
+        ),
+        "(d) center + center + RDL": base.with_options(
+            tsv_location=TSVLocation.CENTER,
+            bump_location=BumpLocation.CENTER,
+            rdl=RDLScope.ALL,
+        ),
+    }
+    rows = []
+    for label, config in options.items():
+        ir = solve_design(bench, config, state).dram_max_mv
+        cost = config_cost(config, bench.package_cost).total
+        rows.append(
+            Row(
+                label=label,
+                paper={"ir_mv": PAPER[label]},
+                model={"ir_mv": ir, "cost": cost},
+            )
+        )
+    return ExperimentResult(
+        experiment_id="table2",
+        title="TSV location and RDL options (Table 2 / Figure 6)",
+        rows=rows,
+        notes=[
+            "paper ranks costs qualitatively (highest/lowest/high/medium); "
+            "the cost column uses the Table 8 model",
+        ],
+    )

@@ -1,0 +1,63 @@
+"""Table 4: impact of intra-pair overlapping on the F2F benefit.
+
+F2F-bonded pairs share four PDN metal layers; the benefit collapses when
+both dies of a pair have active banks in the same top-down location
+("intra-pair overlapping") and grows with the separation of the active
+regions (paper section 4.3, Figure 8).
+
+Position classes (this model): a = left edge column (banks 0, 4; the
+worst-case placement used throughout), b = (1, 5), c = (2, 6),
+d = (3, 7) -- columns left to right, so separation from ``a`` increases
+monotonically b -> c -> d.
+"""
+
+from __future__ import annotations
+
+from repro.designs import off_chip_ddr3
+from repro.experiments.base import ExperimentResult, Row, register
+from repro.experiments.common import ddr3_state, solve_design
+from repro.pdn.config import Bonding
+
+PAPER = {
+    "0-0-2a-2a": (True, 28.14, 27.21, -3.3),
+    "0-0-2b-2b": (True, 18.06, 17.42, -3.5),
+    "0-2a-0-2a": (False, 27.32, 15.24, -44.2),
+    "2a-0-0-2a": (False, 26.51, 15.24, -42.5),
+    "0-0-2b-2a": (False, 27.38, 17.98, -34.3),
+    "0-0-2c-2a": (False, 27.04, 17.10, -36.8),
+    "0-0-2d-2a": (False, 26.86, 15.27, -43.1),
+}
+
+
+@register("table4")
+def run(fast: bool = True) -> ExperimentResult:
+    """Evaluate intra-pair overlapping states (Table 4)."""
+    bench = off_chip_ddr3()
+    f2b = bench.baseline
+    f2f = bench.baseline.with_options(bonding=Bonding.F2F)
+    rows = []
+    for label, (overlap, p_f2b, p_f2f, p_delta) in PAPER.items():
+        state = ddr3_state(label)
+        v_f2b = solve_design(bench, f2b, state).dram_max_mv
+        v_f2f = solve_design(bench, f2f, state).dram_max_mv
+        rows.append(
+            Row(
+                label=f"{label} ({'overlap' if overlap else 'no overlap'})",
+                paper={"f2b_mv": p_f2b, "f2f_mv": p_f2f, "delta_pct": p_delta},
+                model={
+                    "f2b_mv": v_f2b,
+                    "f2f_mv": v_f2f,
+                    "delta_pct": 100.0 * (v_f2f - v_f2b) / v_f2b,
+                },
+            )
+        )
+    return ExperimentResult(
+        experiment_id="table4",
+        title="Intra-pair overlapping and the F2F benefit (Table 4)",
+        rows=rows,
+        notes=[
+            "known deviation: the paper's position class b has intrinsically "
+            "lower IR than a (asymmetric die effect we do not model); the "
+            "overlap-vs-separation trend, the paper's main point, reproduces",
+        ],
+    )

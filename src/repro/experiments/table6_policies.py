@@ -1,0 +1,84 @@
+"""Table 6: impact of the architectural (read scheduling) policy.
+
+====================  ========  ===============  ===============
+Policy                Standard  IR-aware FCFS    IR-aware DistR
+====================  ========  ===============  ===============
+Runtime (us)          109.3     84.68 (-22.6%)   75.85 (-30.6%)
+Bandwidth (read/clk)  0.114     0.148 (+29.2%)   0.165 (+44.2%)
+Max IR drop (mV)      30.03     23.98 (-20.2%)   23.98 (-20.2%)
+====================  ========  ===============  ===============
+"""
+
+from __future__ import annotations
+
+from repro.controller import (
+    IRAwareDistR,
+    IRAwareFCFS,
+    IRDropLUT,
+    MemoryControllerSim,
+    SimConfig,
+    StandardJEDEC,
+    generate_workload,
+)
+from repro.designs import off_chip_ddr3
+from repro.dram.timing import TimingParams
+from repro.experiments.base import ExperimentResult, Row, register
+from repro.pdn.stackup import build_stack
+
+PAPER = {
+    "standard": (109.3, 0.114, 30.03),
+    "ir_fcfs": (84.68, 0.148, 23.98),
+    "ir_distr": (75.85, 0.165, 23.98),
+}
+
+CONSTRAINT_MV = 24.0
+
+
+@register("table6")
+def run(fast: bool = True) -> ExperimentResult:
+    """Run the three scheduling policies (Table 6)."""
+    bench = off_chip_ddr3()
+    stack = build_stack(bench.stack, bench.baseline)
+    lut = IRDropLUT(stack)
+    timing = TimingParams.ddr3_1600()
+    cfg = SimConfig(timing=timing)
+    policies = (
+        StandardJEDEC(timing),
+        IRAwareFCFS(lut, CONSTRAINT_MV),
+        IRAwareDistR(lut, CONSTRAINT_MV),
+    )
+    rows = []
+    std_runtime = None
+    for policy in policies:
+        res = MemoryControllerSim(
+            cfg, policy, generate_workload(), report_lut=lut
+        ).run()
+        p_rt, p_bw, p_ir = PAPER[policy.name]
+        model = {
+            "runtime_us": res.runtime_us,
+            "bandwidth": res.bandwidth_reads_per_clk,
+            "max_ir_mv": res.max_ir_mv,
+        }
+        if policy.name == "standard":
+            std_runtime = res.runtime_us
+        else:
+            model["runtime_delta_pct"] = 100.0 * (res.runtime_us - std_runtime) / std_runtime
+        rows.append(
+            Row(
+                label=policy.name,
+                paper={"runtime_us": p_rt, "bandwidth": p_bw, "max_ir_mv": p_ir},
+                model=model,
+            )
+        )
+    return ExperimentResult(
+        experiment_id="table6",
+        title="Read scheduling policy comparison (Table 6)",
+        rows=rows,
+        notes=[
+            f"10,000 reads, queue 32, IR constraint {CONSTRAINT_MV} mV on the "
+            "F2B off-chip baseline",
+            "known deviation: our DistR reaches the workload's arrival "
+            "bandwidth cap (0.200 reads/clk), over-delivering vs the "
+            "paper's 0.165",
+        ],
+    )

@@ -1,0 +1,62 @@
+"""Table 8: the cost model itself, checked at its range endpoints."""
+
+from __future__ import annotations
+
+from repro.cost import m2_cost, m3_cost, tsv_count_cost, tsv_location_cost
+from repro.cost.model import (
+    BONDING_COST,
+    DEDICATED_TSV_COST,
+    RDL_COST,
+    WIRE_BOND_COST,
+)
+from repro.experiments.base import ExperimentResult, Row, register
+from repro.pdn.config import Bonding, TSVLocation
+
+
+@register("table8")
+def run(fast: bool = True) -> ExperimentResult:
+    """Check the cost model terms (Table 8)."""
+    rows = [
+        Row(
+            label="M2 usage 10% / 20%",
+            paper={"low": 0.025, "high": 0.05},
+            model={"low": m2_cost(0.10), "high": m2_cost(0.20)},
+        ),
+        Row(
+            label="M3 usage 10% / 40%",
+            paper={"low": 0.025, "high": 0.10},
+            model={"low": m3_cost(0.10), "high": m3_cost(0.40)},
+        ),
+        Row(
+            label="TSV count 15 / 480 (sqrt law)",
+            paper={"low": 0.078, "high": 0.44},
+            model={"low": tsv_count_cost(15), "high": tsv_count_cost(480)},
+        ),
+        Row(
+            label="dedicated TSV",
+            paper={"cost": 0.06},
+            model={"cost": DEDICATED_TSV_COST},
+        ),
+        Row(
+            label="bonding F2B / F2F",
+            paper={"low": 0.045, "high": 0.06},
+            model={"low": BONDING_COST[Bonding.F2B], "high": BONDING_COST[Bonding.F2F]},
+        ),
+        Row(label="RDL", paper={"cost": 0.05}, model={"cost": RDL_COST}),
+        Row(label="wire bonding", paper={"cost": 0.03}, model={"cost": WIRE_BOND_COST}),
+        Row(
+            label="TSV location C/E/D at TC=100",
+            paper={"C": 0.0, "E": 0.5 * tsv_count_cost(100), "D": tsv_count_cost(100)},
+            model={
+                "C": tsv_location_cost(TSVLocation.CENTER, 100),
+                "E": tsv_location_cost(TSVLocation.EDGE, 100),
+                "D": tsv_location_cost(TSVLocation.DISTRIBUTED, 100),
+            },
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="table8",
+        title="Cost model terms (Table 8)",
+        rows=rows,
+        notes=["off-chip stacked DDR3 additionally pays a 0.057 package adder"],
+    )

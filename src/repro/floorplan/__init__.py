@@ -1,0 +1,26 @@
+"""Block-level floorplans for DRAM and logic dies.
+
+The floorplan generator mirrors the paper's (section 2.2): it produces a
+block-level floorplan (arrays/banks, row/column decoders, peripheral and
+I/O circuits) from design and architectural specifications.  Floorplans
+feed the power-map rasterizer and define where local vs global PDN applies.
+"""
+
+from repro.floorplan.blocks import Block, BlockType, DieFloorplan
+from repro.floorplan.dram import (
+    ddr3_die_floorplan,
+    hmc_dram_die_floorplan,
+    wideio_die_floorplan,
+)
+from repro.floorplan.logic import hmc_logic_floorplan, t2_logic_floorplan
+
+__all__ = [
+    "Block",
+    "BlockType",
+    "DieFloorplan",
+    "ddr3_die_floorplan",
+    "wideio_die_floorplan",
+    "hmc_dram_die_floorplan",
+    "t2_logic_floorplan",
+    "hmc_logic_floorplan",
+]

@@ -1,0 +1,220 @@
+"""DRAM die floorplan generators for the three benchmark technologies.
+
+Die sizes and bank counts come from Table 1 of the paper:
+
+=============  ============  =======  ==========
+Benchmark      DRAM size     # banks  # channels
+=============  ============  =======  ==========
+Stacked DDR3   6.8 x 6.7 mm  8        1
+Wide I/O       7.2 x 7.2 mm  16       4
+HMC            7.2 x 6.4 mm  32       16
+=============  ============  =======  ==========
+
+The layouts follow the conventional organizations of the cited designs:
+
+* **DDR3** (Kang et al., JSSC'10): a horizontal center spine holding I/O
+  pads, peripheral circuits and charge pumps, with two rows of four banks
+  above and below it and row-decoder strips between banks.
+* **Wide I/O** (Kim et al., JSSC'12): four channel quadrants of 2x2 banks
+  around a central pad cross (JEDEC places the micro-bumps at die center).
+* **HMC** (per Wu & Zhang, TVLSI'11): a 4x4 array of vaults, each vault
+  holding two banks with a TSV region between them (the "distributed TSV"
+  style of section 6.1).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.floorplan.blocks import Block, BlockType, DieFloorplan, grid_rects
+from repro.geometry import Rect
+
+#: Die outlines from Table 1 (mm).
+DDR3_DIE_SIZE = (6.8, 6.7)
+WIDEIO_DIE_SIZE = (7.2, 7.2)
+HMC_DIE_SIZE = (7.2, 6.4)
+
+
+def ddr3_die_floorplan(
+    spine_height: float = 0.9,
+    decoder_width: float = 0.12,
+    col_decoder_height: float = 0.22,
+    margin: float = 0.10,
+) -> DieFloorplan:
+    """Stacked-DDR3 DRAM die: 8 banks around a horizontal center spine.
+
+    Bank ids: 0-3 left-to-right in the upper half, 4-7 left-to-right in
+    the lower half.  All eight banks form channel 0.
+    """
+    width, height = DDR3_DIE_SIZE
+    outline = Rect(0.0, 0.0, width, height)
+    blocks: List[Block] = []
+
+    spine = Rect(
+        0.0, height / 2.0 - spine_height / 2.0, width, height / 2.0 + spine_height / 2.0
+    )
+    blocks.append(Block(spine, BlockType.IO, "io_spine"))
+
+    # Column decoders hug the spine on both sides.
+    blocks.append(
+        Block(
+            Rect(margin, spine.y1, width - margin, spine.y1 + col_decoder_height),
+            BlockType.COL_DECODER,
+            "col_dec_top",
+        )
+    )
+    blocks.append(
+        Block(
+            Rect(margin, spine.y0 - col_decoder_height, width - margin, spine.y0),
+            BlockType.COL_DECODER,
+            "col_dec_bot",
+        )
+    )
+
+    # Bank regions above and below spine + column decoders.
+    upper = Rect(margin, spine.y1 + col_decoder_height, width - margin, height - margin)
+    lower = Rect(margin, margin, width - margin, spine.y0 - col_decoder_height)
+    for half_name, region, first_id in (("u", upper, 0), ("l", lower, 4)):
+        cells = grid_rects(region, cols=4, rows=1, gap_x=decoder_width)[0]
+        for col, cell in enumerate(cells):
+            bank_id = first_id + col
+            blocks.append(
+                Block(cell, BlockType.BANK, f"bank{bank_id}", bank_id=bank_id)
+            )
+            if col < 3:  # row decoder strip to the right of this bank
+                strip = Rect(cell.x1, region.y0, cell.x1 + decoder_width, region.y1)
+                blocks.append(
+                    Block(strip, BlockType.ROW_DECODER, f"row_dec_{half_name}{col}")
+                )
+
+    return DieFloorplan("ddr3_dram", outline, blocks)
+
+
+def wideio_die_floorplan(
+    pad_cross_width: float = 1.0,
+    decoder_width: float = 0.12,
+    margin: float = 0.10,
+) -> DieFloorplan:
+    """Wide I/O DRAM die: 4 channel quadrants of 2x2 banks, central pads.
+
+    Bank ids run 0-3 in channel 0 (lower-left quadrant), 4-7 in channel 1
+    (lower-right), 8-11 in channel 2 (upper-left), 12-15 in channel 3
+    (upper-right); within a quadrant, ids are row-major from the quadrant's
+    outer corner so that ``bank_id % 4 == 0`` is always the bank nearest a
+    die corner (the worst-case edge bank).
+    """
+    width, height = WIDEIO_DIE_SIZE
+    outline = Rect(0.0, 0.0, width, height)
+    blocks: List[Block] = []
+
+    half = pad_cross_width / 2.0
+    cx, cy = width / 2.0, height / 2.0
+    blocks.append(
+        Block(Rect(cx - half, 0.0, cx + half, height), BlockType.IO, "pad_col")
+    )
+    blocks.append(
+        Block(Rect(0.0, cy - half, cx - half, cy + half), BlockType.IO, "pad_row_l")
+    )
+    blocks.append(
+        Block(Rect(cx + half, cy - half, width, cy + half), BlockType.IO, "pad_row_r")
+    )
+
+    quadrants = (
+        (Rect(margin, margin, cx - half, cy - half), 0, (0, 0)),
+        (Rect(cx + half, margin, width - margin, cy - half), 1, (1, 0)),
+        (Rect(margin, cy + half, cx - half, height - margin), 2, (0, 1)),
+        (Rect(cx + half, cy + half, width - margin, height - margin), 3, (1, 1)),
+    )
+    for region, channel, (qx, qy) in quadrants:
+        cells = grid_rects(region, cols=2, rows=2, gap_x=decoder_width, gap_y=decoder_width)
+        # Order cells so index 0 is the quadrant's outer corner.
+        col_order = (0, 1) if qx == 0 else (1, 0)
+        row_order = (0, 1) if qy == 0 else (1, 0)
+        local = 0
+        for r in row_order:
+            for c in col_order:
+                bank_id = channel * 4 + local
+                blocks.append(
+                    Block(
+                        cells[r][c],
+                        BlockType.BANK,
+                        f"bank{bank_id}",
+                        bank_id=bank_id,
+                        channel=channel,
+                    )
+                )
+                local += 1
+        # One row-decoder strip per quadrant, along the vertical gap
+        # between the two bank columns (geometry is ordering-independent).
+        gap_x0 = cells[0][0].x1
+        blocks.append(
+            Block(
+                Rect(gap_x0, region.y0, gap_x0 + decoder_width, region.y1),
+                BlockType.ROW_DECODER,
+                f"row_dec_q{channel}",
+            )
+        )
+
+    return DieFloorplan("wideio_dram", outline, blocks)
+
+
+def hmc_dram_die_floorplan(
+    tsv_region_height: float = 0.18,
+    vault_gap: float = 0.12,
+    margin: float = 0.10,
+    spine_height: float = 0.5,
+) -> DieFloorplan:
+    """HMC DRAM die: 4x4 vaults, two banks per vault, distributed TSVs.
+
+    Each vault is one memory channel (16 channels, 32 banks per die, per
+    Table 1).  Bank ids are ``2 * vault`` and ``2 * vault + 1`` with vaults
+    numbered row-major from the lower-left.  A thin horizontal spine holds
+    shared periphery.
+    """
+    width, height = HMC_DIE_SIZE
+    outline = Rect(0.0, 0.0, width, height)
+    blocks: List[Block] = []
+
+    spine = Rect(
+        0.0, height / 2.0 - spine_height / 2.0, width, height / 2.0 + spine_height / 2.0
+    )
+    blocks.append(Block(spine, BlockType.PERIPHERY, "periphery_spine"))
+
+    lower = Rect(margin, margin, width - margin, spine.y0)
+    upper = Rect(margin, spine.y1, width - margin, height - margin)
+    vault = 0
+    for region in (lower, upper):
+        cells = grid_rects(region, cols=4, rows=2, gap_x=vault_gap, gap_y=vault_gap)
+        for row in cells:
+            for cell in row:
+                # Split the vault cell into bank / TSV region / bank.
+                bank_h = (cell.height - tsv_region_height) / 2.0
+                lower_bank = Rect(cell.x0, cell.y0, cell.x1, cell.y0 + bank_h)
+                tsv_rect = Rect(
+                    cell.x0, cell.y0 + bank_h, cell.x1, cell.y0 + bank_h + tsv_region_height
+                )
+                upper_bank = Rect(cell.x0, tsv_rect.y1, cell.x1, cell.y1)
+                blocks.append(
+                    Block(
+                        lower_bank,
+                        BlockType.BANK,
+                        f"bank{2 * vault}",
+                        bank_id=2 * vault,
+                        channel=vault,
+                    )
+                )
+                blocks.append(
+                    Block(tsv_rect, BlockType.TSV_REGION, f"tsv_v{vault}")
+                )
+                blocks.append(
+                    Block(
+                        upper_bank,
+                        BlockType.BANK,
+                        f"bank{2 * vault + 1}",
+                        bank_id=2 * vault + 1,
+                        channel=vault,
+                    )
+                )
+                vault += 1
+
+    return DieFloorplan("hmc_dram", outline, blocks)

@@ -1,0 +1,109 @@
+"""Logic die floorplan generators.
+
+Two host dies appear in the paper (Table 1):
+
+* a full-chip **OpenSPARC T2** processor in 28nm, 9.0 x 8.0 mm, hosting
+  the on-chip stacked DDR3 and Wide I/O stacks, and
+* the **HMC logic die**, 8.8 x 6.4 mm, with per-vault memory controllers
+  and SerDes links to the processor through a silicon interposer.
+
+Only the block-level current distribution matters to the power-integrity
+study, so both are modelled as typed block arrays (cores / L2 / SoC for
+T2; vault controllers / SerDes / SoC for HMC logic).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.floorplan.blocks import Block, BlockType, DieFloorplan, grid_rects
+from repro.geometry import Rect
+
+#: Logic die outlines from Table 1 (mm).
+T2_DIE_SIZE = (9.0, 8.0)
+HMC_LOGIC_DIE_SIZE = (8.8, 6.4)
+
+
+def t2_logic_floorplan(
+    l2_stripe_height: float = 2.0,
+    soc_margin: float = 0.55,
+) -> DieFloorplan:
+    """OpenSPARC T2-like floorplan: 8 cores, central L2 stripe, SoC ring.
+
+    The real T2 places its eight SPARC cores in two rows of four with the
+    shared L2 banks and crossbar between them and SoC/IO blocks around the
+    periphery; this parametric version keeps those proportions.
+    """
+    width, height = T2_DIE_SIZE
+    outline = Rect(0.0, 0.0, width, height)
+    blocks: List[Block] = []
+
+    inner = outline.inset(soc_margin)
+    # SoC ring: four rectangles around the inner region.
+    blocks.append(
+        Block(Rect(0.0, 0.0, width, soc_margin), BlockType.SOC, "soc_bottom")
+    )
+    blocks.append(
+        Block(Rect(0.0, height - soc_margin, width, height), BlockType.SOC, "soc_top")
+    )
+    blocks.append(
+        Block(Rect(0.0, soc_margin, soc_margin, height - soc_margin), BlockType.SOC, "soc_left")
+    )
+    blocks.append(
+        Block(
+            Rect(width - soc_margin, soc_margin, width, height - soc_margin),
+            BlockType.SOC,
+            "soc_right",
+        )
+    )
+
+    # Central L2 stripe.
+    cy = (inner.y0 + inner.y1) / 2.0
+    l2 = Rect(inner.x0, cy - l2_stripe_height / 2.0, inner.x1, cy + l2_stripe_height / 2.0)
+    blocks.append(Block(l2, BlockType.CACHE, "l2"))
+
+    # Two rows of four cores.
+    upper = Rect(inner.x0, l2.y1, inner.x1, inner.y1)
+    lower = Rect(inner.x0, inner.y0, inner.x1, l2.y0)
+    core = 0
+    for region in (lower, upper):
+        for cell in grid_rects(region, cols=4, rows=1, gap_x=0.15)[0]:
+            blocks.append(Block(cell, BlockType.CORE, f"core{core}"))
+            core += 1
+
+    return DieFloorplan("t2_logic", outline, blocks)
+
+
+def hmc_logic_floorplan(
+    serdes_width: float = 0.9,
+    margin: float = 0.10,
+) -> DieFloorplan:
+    """HMC logic die: 4x4 vault controllers with SerDes strips on two edges.
+
+    Vault controller v sits under DRAM vault v (row-major from lower-left)
+    so the vertical TSV paths line up with the memory channels above.
+    """
+    width, height = HMC_LOGIC_DIE_SIZE
+    outline = Rect(0.0, 0.0, width, height)
+    blocks: List[Block] = []
+
+    blocks.append(
+        Block(Rect(0.0, 0.0, serdes_width, height), BlockType.SERDES, "serdes_left")
+    )
+    blocks.append(
+        Block(
+            Rect(width - serdes_width, 0.0, width, height),
+            BlockType.SERDES,
+            "serdes_right",
+        )
+    )
+
+    inner = Rect(serdes_width + margin, margin, width - serdes_width - margin, height - margin)
+    cells = grid_rects(inner, cols=4, rows=4, gap_x=0.12, gap_y=0.12)
+    vault = 0
+    for row in cells:
+        for cell in row:
+            blocks.append(Block(cell, BlockType.VAULT_CTRL, f"vault_ctrl{vault}"))
+            vault += 1
+
+    return DieFloorplan("hmc_logic", outline, blocks)

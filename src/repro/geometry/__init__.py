@@ -1,0 +1,6 @@
+"""Basic 2D geometry primitives used by floorplans, PDN grids and meshes."""
+
+from repro.geometry.primitives import Point, Rect
+from repro.geometry.grid import Grid2D
+
+__all__ = ["Point", "Rect", "Grid2D"]

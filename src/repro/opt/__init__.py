@@ -1,0 +1,5 @@
+"""Cross-domain co-optimization (paper section 6)."""
+
+from repro.opt.cooptimizer import CoOptimizer, OptimizationResult, ir_cost
+
+__all__ = ["CoOptimizer", "OptimizationResult", "ir_cost"]

@@ -1,0 +1,29 @@
+"""PDN configuration and 3D stack assembly.
+
+:class:`PDNConfig` holds the design/packaging knobs of the paper's
+co-optimization space (Table 8); :func:`build_stack` turns a benchmark's
+physical description plus a configuration into a solvable
+:class:`repro.rmesh.StackModel`.
+"""
+
+from repro.pdn.config import (
+    Bonding,
+    BumpLocation,
+    Mounting,
+    PDNConfig,
+    RDLScope,
+    TSVLocation,
+)
+from repro.pdn.stackup import PDNStack, StackSpec, build_stack
+
+__all__ = [
+    "PDNConfig",
+    "TSVLocation",
+    "Bonding",
+    "RDLScope",
+    "BumpLocation",
+    "Mounting",
+    "StackSpec",
+    "PDNStack",
+    "build_stack",
+]

@@ -1,0 +1,149 @@
+"""PDN design and packaging configuration (the Table 8 knob space).
+
+Every optimization option of the paper's section 6 cost model appears
+here with its legal input range:
+
+=============  ===============  =================
+Solution       Abbreviation     Input range
+=============  ===============  =================
+M2 VDD usage   M2               10% - 20%
+M3 VDD usage   M3               10% - 40%
+Power TSV #    TC               15 - 480
+Dedicated TSV  TD               yes / no
+Bonding style  BD               F2B / F2F
+RDL layer      RL               yes / no
+Wire bonding   WB               yes / no
+TSV location   TL               C / E / D
+=============  ===============  =================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+#: Legal continuous ranges from Table 8.
+M2_USAGE_RANGE: Tuple[float, float] = (0.10, 0.20)
+M3_USAGE_RANGE: Tuple[float, float] = (0.10, 0.40)
+TSV_COUNT_RANGE: Tuple[int, int] = (15, 480)
+
+
+class TSVLocation(enum.Enum):
+    """PG TSV placement style (paper sections 3.3 and 6.1).
+
+    CENTER groups all TSVs at the die center (lowest cost, no routing
+    blockage on logic); EDGE rings the die (short supply path, big
+    keep-out cost); DISTRIBUTED spreads TSVs between banks (HMC style).
+    """
+
+    CENTER = "C"
+    EDGE = "E"
+    DISTRIBUTED = "D"
+
+
+class Bonding(enum.Enum):
+    """Die bonding style: conventional F2B or the F2F+B2B pairing of
+    section 4.2 (PDN sharing)."""
+
+    F2B = "F2B"
+    F2F = "F2F"
+
+
+class RDLScope(enum.Enum):
+    """Where backside RDLs are inserted (section 3.3): nowhere, only
+    between the host and the bottom DRAM die, or on all dies.  Table 8's
+    yes/no corresponds to NONE vs ALL."""
+
+    NONE = "none"
+    BOTTOM = "bottom"
+    ALL = "all"
+
+    @property
+    def enabled(self) -> bool:
+        return self is not RDLScope.NONE
+
+
+class BumpLocation(enum.Enum):
+    """Where the bumps below each interface sit.
+
+    MATCH places bumps directly under the TSVs (possible when the package
+    or interposer routing is free, Table 2 option (a)); CENTER clusters
+    them at the die center (JEDEC Wide I/O requirement, Table 2 options
+    (b)-(d)).
+    """
+
+    MATCH = "match"
+    CENTER = "center"
+
+
+class Mounting(enum.Enum):
+    """Stand-alone (off-chip) stack vs mounted on a logic die (on-chip),
+    paper section 3.1."""
+
+    OFF_CHIP = "off-chip"
+    ON_CHIP = "on-chip"
+
+
+@dataclass(frozen=True)
+class PDNConfig:
+    """One point in the design/packaging space.
+
+    Defaults are the paper's stacked-DDR3 baseline (Table 9 "Baseline"
+    row): M2 10%, M3 20%, 33 edge TSVs, F2B, no RDL, no wire bonding.
+    """
+
+    m2_usage: float = 0.10
+    m3_usage: float = 0.20
+    tsv_count: int = 33
+    tsv_location: TSVLocation = TSVLocation.EDGE
+    tsv_aligned: bool = True
+    dedicated_tsv: bool = False
+    bonding: Bonding = Bonding.F2B
+    rdl: RDLScope = RDLScope.NONE
+    wire_bond: bool = False
+    bump_location: BumpLocation = BumpLocation.MATCH
+
+    def __post_init__(self) -> None:
+        if not M2_USAGE_RANGE[0] <= self.m2_usage <= M2_USAGE_RANGE[1]:
+            raise ConfigurationError(
+                f"M2 usage {self.m2_usage:.3f} outside Table 8 range "
+                f"{M2_USAGE_RANGE}"
+            )
+        if not M3_USAGE_RANGE[0] <= self.m3_usage <= M3_USAGE_RANGE[1]:
+            raise ConfigurationError(
+                f"M3 usage {self.m3_usage:.3f} outside Table 8 range "
+                f"{M3_USAGE_RANGE}"
+            )
+        if not TSV_COUNT_RANGE[0] <= self.tsv_count <= TSV_COUNT_RANGE[1]:
+            raise ConfigurationError(
+                f"TSV count {self.tsv_count} outside Table 8 range "
+                f"{TSV_COUNT_RANGE}"
+            )
+        if (
+            self.tsv_location is TSVLocation.EDGE
+            and self.bump_location is BumpLocation.CENTER
+            and not self.rdl.enabled
+        ):
+            raise ConfigurationError(
+                "edge TSVs with center bumps need an RDL for the interface "
+                "connection (paper section 6.2: 'edge TSVs must be paired "
+                "with RDL')"
+            )
+
+    def with_options(self, **changes) -> "PDNConfig":
+        """A copy with some fields replaced (convenience for sweeps)."""
+        return replace(self, **changes)
+
+    def label(self) -> str:
+        """Compact human-readable summary, Table 9 column style."""
+        return (
+            f"M2={self.m2_usage:.0%} M3={self.m3_usage:.0%} "
+            f"TC={self.tsv_count} TL={self.tsv_location.value} "
+            f"TD={'Y' if self.dedicated_tsv else 'N'} "
+            f"BD={self.bonding.value} "
+            f"RL={'Y' if self.rdl.enabled else 'N'} "
+            f"WB={'Y' if self.wire_bond else 'N'}"
+        )

@@ -1,0 +1,91 @@
+"""Complementary ground-net (VSS) analysis.
+
+The paper's R-Mesh "is built for VDD only.  However, the ground net can
+be analyzed in complementary fashion as well" (section 2.2).  This module
+provides that complement: the VSS network has the same topology as the
+VDD network (DRAM PDNs are symmetric), with its own usage fractions, and
+every load sinks the same current it draws.  Ground bounce is therefore
+the solve of a complementary stack, and the total supply-window noise a
+device sees is the sum of its VDD droop and VSS bounce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.pdn.config import PDNConfig
+from repro.pdn.stackup import PDNStack, StackSpec, build_stack
+from repro.power.state import MemoryState
+from repro.tech.calibration import DEFAULT_TECH, TechConstants
+
+
+@dataclass
+class SupplyWindowResult:
+    """VDD droop + VSS bounce for one memory state."""
+
+    state: MemoryState
+    vdd_droop_mv: float
+    vss_bounce_mv: float
+
+    @property
+    def total_noise_mv(self) -> float:
+        """Worst-case supply-window collapse seen by the DRAM devices."""
+        return self.vdd_droop_mv + self.vss_bounce_mv
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return (
+            f"state {self.state.label()}: VDD droop {self.vdd_droop_mv:.2f} mV "
+            f"+ VSS bounce {self.vss_bounce_mv:.2f} mV = "
+            f"{self.total_noise_mv:.2f} mV window"
+        )
+
+
+def vss_config(config: PDNConfig, usage_ratio: float = 1.0) -> PDNConfig:
+    """The complementary VSS configuration.
+
+    DRAM PDNs interleave VDD and VSS straps, so the default ratio of 1.0
+    mirrors the VDD network exactly; a different ratio models asymmetric
+    strap allocation (clamped to the legal Table 8 ranges).
+    """
+    if usage_ratio <= 0.0:
+        raise ConfigurationError("usage ratio must be positive")
+
+    def clamp(value: float, lo: float, hi: float) -> float:
+        return min(max(value, lo), hi)
+
+    return config.with_options(
+        m2_usage=clamp(config.m2_usage * usage_ratio, 0.10, 0.20),
+        m3_usage=clamp(config.m3_usage * usage_ratio, 0.10, 0.40),
+    )
+
+
+class GroundNetAnalysis:
+    """Paired VDD / VSS solves for one design."""
+
+    def __init__(
+        self,
+        spec: StackSpec,
+        config: PDNConfig,
+        tech: TechConstants = DEFAULT_TECH,
+        pitch: Optional[float] = None,
+        vss_usage_ratio: float = 1.0,
+    ) -> None:
+        self.vdd_stack: PDNStack = build_stack(spec, config, tech=tech, pitch=pitch)
+        self.vss_stack: PDNStack = build_stack(
+            spec, vss_config(config, vss_usage_ratio), tech=tech, pitch=pitch
+        )
+
+    def solve_state(self, state: MemoryState) -> SupplyWindowResult:
+        """VDD droop and VSS bounce of one memory state.
+
+        Every device sinks into VSS the current it draws from VDD, so the
+        bounce solve uses the same injection pattern on the complementary
+        network.
+        """
+        return SupplyWindowResult(
+            state=state,
+            vdd_droop_mv=self.vdd_stack.dram_max_mv(state),
+            vss_bounce_mv=self.vss_stack.dram_max_mv(state),
+        )

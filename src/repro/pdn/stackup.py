@@ -1,0 +1,551 @@
+"""Assemble a full 3D DRAM stack into a solvable resistive network.
+
+This module is the PDN layout generator + special-route step of the
+paper's CAD flow (Figure 2): given a benchmark's physical description
+(:class:`StackSpec`) and one design point (:class:`PDNConfig`), it builds
+the meshes for every metal layer of every die, generates PG rings, vias,
+TSV arrays, RDLs, bond wires and C4 fields, and wires them into a
+:class:`repro.rmesh.StackModel`.
+
+Topology summary (bottom to top):
+
+* ideal supply -> package plane (shared spreading resistance),
+* plane -> C4 field -> logic top metal (on-chip) or -> bottom interface
+  directly (off-chip),
+* logic: MTOP / ML2 / ML1 flip-chip stack, loads on ML1, DRAM TSVs land
+  on ML1 (power crosses the whole logic PDN -- the coupling of
+  section 3.1) unless *dedicated* via-last TSVs bypass it,
+* DRAM die d: M1 (signal, local PDN only) / M2 / M3 meshes with PG rings,
+* interfaces: F2B = one TSV, B2B = two TSVs in series, F2F = dense bond
+  vias (PDN sharing); optional backside RDL re-routes bump clusters to
+  TSV rings; optional bond wires tie the package straight to the top die.
+
+Modelling simplifications (documented in DESIGN.md): inter-die links
+attach at the dies' M3 power layers, and F2F die mirroring is expressed
+through the memory-state bank positions (top-down view) rather than by
+mirroring floorplans -- the DRAM PDN is symmetric, which is exactly the
+property the paper exploits to make F2F reuse one mask set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.floorplan.blocks import DieFloorplan
+from repro.geometry import Grid2D, Point, Rect
+from repro.pdn.config import (
+    Bonding,
+    BumpLocation,
+    Mounting,
+    PDNConfig,
+    RDLScope,
+    TSVLocation,
+)
+from repro.pdn.tsv import (
+    alignment_detours,
+    center_bump_points,
+    tsv_points_for_config,
+    wirebond_points,
+)
+from repro.power.model import DramPowerSpec, LogicPowerSpec
+from repro.power.powermap import PowerMap, dram_power_map, logic_power_map
+from repro.power.state import MemoryState
+from repro.rmesh.mesh import LayerMesh
+from repro.rmesh.solve import IRDropResult, StackSolver
+from repro.rmesh.stack import StackModel
+from repro.tech.calibration import (
+    DEFAULT_TECH,
+    TechConstants,
+    dram_metal_stack,
+    logic_metal_stack,
+)
+from repro.tech.vertical import C4Tech
+
+#: PG ring boost applied to the global PDN layers of every die.
+PG_RING_BOOST = 2.0
+#: Microbump resistance between a die face and an RDL above it, ohm.
+MICROBUMP_RES = 0.005
+
+
+@dataclass(frozen=True)
+class StackSpec:
+    """Physical description of one 3D DRAM benchmark (design-independent).
+
+    ``forced_bump_location`` pins the bump style when the standard demands
+    it (JEDEC Wide I/O: center bumps); None lets :class:`PDNConfig`
+    choose.
+    """
+
+    name: str
+    dram_floorplan: DieFloorplan
+    dram_power: DramPowerSpec
+    num_dram_dies: int = 4
+    mounting: Mounting = Mounting.OFF_CHIP
+    logic_floorplan: Optional[DieFloorplan] = None
+    logic_power: Optional[LogicPowerSpec] = None
+    forced_bump_location: Optional[BumpLocation] = None
+
+    def __post_init__(self) -> None:
+        if self.num_dram_dies < 1:
+            raise ConfigurationError("stack needs at least one DRAM die")
+        if self.mounting is Mounting.ON_CHIP:
+            if self.logic_floorplan is None or self.logic_power is None:
+                raise ConfigurationError(
+                    f"{self.name}: on-chip mounting requires a logic die"
+                )
+
+    def effective_bump_location(self, config: PDNConfig) -> BumpLocation:
+        return self.forced_bump_location or config.bump_location
+
+
+@dataclass
+class StackIRResult:
+    """IR drops of one memory state on one built stack."""
+
+    state: MemoryState
+    raw: IRDropResult
+    dram_max_mv: float
+    per_die_mv: Dict[str, float]
+    logic_max_mv: Optional[float]
+    total_power_mw: float
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        logic = (
+            f", logic={self.logic_max_mv:.2f}mV" if self.logic_max_mv is not None else ""
+        )
+        return (
+            f"state {self.state.label()}: DRAM max {self.dram_max_mv:.2f} mV"
+            f"{logic} ({self.total_power_mw:.1f} mW)"
+        )
+
+
+class PDNStack:
+    """A built stack: the network, its solver, and state evaluation."""
+
+    def __init__(
+        self,
+        model: StackModel,
+        spec: StackSpec,
+        config: PDNConfig,
+        tech: TechConstants,
+        dram_grid: Grid2D,
+        dram_origin: Point,
+        logic_grid: Optional[Grid2D],
+    ) -> None:
+        self.model = model
+        self.spec = spec
+        self.config = config
+        self.tech = tech
+        self.dram_grid = dram_grid
+        self.dram_origin = dram_origin
+        self.logic_grid = logic_grid
+
+    # -- structure ------------------------------------------------------------
+
+    def dram_die_name(self, die: int) -> str:
+        """Dies are named dram1 (bottom) .. dramN (top), paper convention."""
+        return f"dram{die + 1}"
+
+    @property
+    def dram_die_names(self) -> List[str]:
+        return [self.dram_die_name(d) for d in range(self.spec.num_dram_dies)]
+
+    def load_layer_key(self, die: int) -> str:
+        """Layer that carries a DRAM die's current loads (M1)."""
+        return f"{self.dram_die_name(die)}/M1"
+
+    @property
+    def logic_load_key(self) -> Optional[str]:
+        return "logic/ML1" if self.logic_grid is not None else None
+
+    @cached_property
+    def solver(self) -> StackSolver:
+        """Factorized solver, built on first use and reused for all states
+        (the factorization dominates; per-state solves are back-substitutions)."""
+        return StackSolver(self.model)
+
+    # -- evaluation --------------------------------------------------------------
+
+    def power_maps(
+        self, state: MemoryState, logic_scale: float = 1.0
+    ) -> Dict[str, PowerMap]:
+        """Per-load-layer power maps for a memory state."""
+        if state.num_dies != self.spec.num_dram_dies:
+            raise ConfigurationError(
+                f"state has {state.num_dies} dies, stack has "
+                f"{self.spec.num_dram_dies}"
+            )
+        maps: Dict[str, PowerMap] = {}
+        for die in range(self.spec.num_dram_dies):
+            maps[self.load_layer_key(die)] = dram_power_map(
+                self.spec.dram_floorplan,
+                self.spec.dram_power,
+                state,
+                die,
+                self.dram_grid,
+                self.tech.vdd,
+            )
+        if self.logic_grid is not None and logic_scale > 0.0:
+            assert self.spec.logic_floorplan is not None
+            assert self.spec.logic_power is not None
+            maps[self.logic_load_key] = logic_power_map(
+                self.spec.logic_floorplan,
+                self.spec.logic_power,
+                self.logic_grid,
+                self.tech.vdd,
+                scale=logic_scale,
+            )
+        return maps
+
+    def solve_state(
+        self, state: MemoryState, logic_scale: float = 1.0
+    ) -> StackIRResult:
+        """Solve one memory state and extract per-die maxima."""
+        maps = self.power_maps(state, logic_scale)
+        raw = self.solver.solve_power_maps(maps)
+        per_die = {
+            name: raw.die_max_drop_mv(name) for name in self.dram_die_names
+        }
+        logic_mv = (
+            raw.die_max_drop_mv("logic") if self.logic_grid is not None else None
+        )
+        total_mw = sum(m.total_power_mw(self.tech.vdd) for m in maps.values())
+        return StackIRResult(
+            state=state,
+            raw=raw,
+            dram_max_mv=max(per_die.values()),
+            per_die_mv=per_die,
+            logic_max_mv=logic_mv,
+            total_power_mw=total_mw,
+        )
+
+    def dram_max_mv(self, state: MemoryState, logic_scale: float = 1.0) -> float:
+        """Shortcut: worst DRAM IR drop for a state, mV."""
+        return self.solve_state(state, logic_scale).dram_max_mv
+
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+
+
+def _add_dram_die(
+    model: StackModel,
+    die_name: str,
+    grid: Grid2D,
+    origin: Point,
+    config: PDNConfig,
+    tech: TechConstants,
+) -> Dict[str, str]:
+    """Add one DRAM die's three metal meshes and intra-die vias."""
+    stack = dram_metal_stack(tech)
+    usages = {
+        "M1": tech.dram_m1_local_usage,
+        "M2": config.m2_usage,
+        "M3": config.m3_usage,
+    }
+    keys: Dict[str, str] = {}
+    for layer in stack.layers:
+        mesh = LayerMesh.from_layer(grid, layer, usages[layer.name], name=layer.name)
+        if layer.name in ("M2", "M3"):
+            mesh.add_pg_ring(PG_RING_BOOST)
+        keys[layer.name] = model.add_layer(die_name, mesh, origin=origin)
+    model.connect_layers_uniform(keys["M1"], keys["M2"], tech.via_density_local)
+    model.connect_layers_uniform(keys["M2"], keys["M3"], tech.via_density_global)
+    return keys
+
+
+def _add_logic_die(
+    model: StackModel,
+    grid: Grid2D,
+    origin: Point,
+    tech: TechConstants,
+) -> Dict[str, str]:
+    """Add the flip-chip logic die: MTOP (package side) up to ML1."""
+    stack = logic_metal_stack(tech)
+    usages = {
+        "ML1": tech.logic_m1_usage,
+        "ML2": tech.logic_m2_usage,
+        "MTOP": tech.logic_mtop_usage,
+    }
+    keys: Dict[str, str] = {}
+    # Flip-chip: MTOP faces the package, so add it first (bottom).
+    for layer_name in ("MTOP", "ML2", "ML1"):
+        layer = stack.by_name()[layer_name]
+        mesh = LayerMesh.from_layer(grid, layer, usages[layer_name], name=layer_name)
+        if layer_name == "MTOP":
+            mesh.add_pg_ring(PG_RING_BOOST)
+        keys[layer_name] = model.add_layer("logic", mesh, origin=origin)
+    model.connect_layers_uniform(keys["MTOP"], keys["ML2"], tech.via_density_logic)
+    model.connect_layers_uniform(keys["ML2"], keys["ML1"], tech.via_density_logic)
+    return keys
+
+
+def _c4_field_points(outline: Rect, pitch: float) -> List[Point]:
+    """Regular C4 bump field over a die outline."""
+    grid = Grid2D.from_pitch(outline, pitch)
+    return [grid.node_point(i, j) for i, j in grid.iter_indices()]
+
+
+def _shift(points: Sequence[Point], origin: Point) -> List[Point]:
+    return [Point(p.x + origin.x, p.y + origin.y) for p in points]
+
+
+def _add_rdl_layer(
+    model: StackModel,
+    name: str,
+    grid: Grid2D,
+    origin: Point,
+    tech: TechConstants,
+) -> str:
+    mesh = LayerMesh.from_layer(grid, tech.rdl.as_layer(), tech.rdl.usage, name="RDL")
+    return model.add_layer(name, mesh, origin=origin, key=f"{name}/RDL")
+
+
+def build_stack(
+    spec: StackSpec,
+    config: PDNConfig,
+    tech: TechConstants = DEFAULT_TECH,
+    pitch: Optional[float] = None,
+) -> PDNStack:
+    """Build the resistive network for one benchmark at one design point."""
+    pitch = pitch or tech.mesh_pitch
+    fp = spec.dram_floorplan
+    dram_grid = Grid2D.from_pitch(fp.outline, pitch)
+    on_chip = spec.mounting is Mounting.ON_CHIP
+
+    model = StackModel()
+
+    # --- placement: logic at (0,0); DRAM centered over it -------------------
+    if on_chip:
+        logic_fp = spec.logic_floorplan
+        assert logic_fp is not None
+        logic_grid: Optional[Grid2D] = Grid2D.from_pitch(logic_fp.outline, pitch)
+        overall = logic_fp.outline
+        dram_origin = Point(
+            (logic_fp.outline.width - fp.outline.width) / 2.0,
+            (logic_fp.outline.height - fp.outline.height) / 2.0,
+        )
+    else:
+        logic_grid = None
+        overall = fp.outline
+        dram_origin = Point(0.0, 0.0)
+
+    # --- package plane -------------------------------------------------------
+    plane_mesh = LayerMesh(
+        grid=Grid2D(overall, 1, 1),
+        gx=np.zeros((1, 0)),
+        gy=np.zeros((0, 1)),
+        name="plane",
+    )
+    plane_key = model.add_layer("package", plane_mesh, key="package/plane")
+    model.connect_supply_at_points(
+        plane_key, [overall.center], 1.0 / tech.package_spreading_res
+    )
+
+    # --- logic die ------------------------------------------------------------
+    logic_keys: Optional[Dict[str, str]] = None
+    if on_chip:
+        assert logic_grid is not None
+        logic_keys = _add_logic_die(model, logic_grid, Point(0.0, 0.0), tech)
+        c4_points = _c4_field_points(spec.logic_floorplan.outline, tech.c4.pitch)
+        model.connect_layers_at_points(
+            plane_key, logic_keys["MTOP"], c4_points, tech.c4.conductance
+        )
+
+    # --- DRAM dies --------------------------------------------------------------
+    dram_keys: List[Dict[str, str]] = []
+    for die in range(spec.num_dram_dies):
+        dram_keys.append(
+            _add_dram_die(
+                model, f"dram{die + 1}", dram_grid, dram_origin, config, tech
+            )
+        )
+
+    # --- TSV and bump geometry ---------------------------------------------------
+    tsv_local = tsv_points_for_config(fp.outline, config, fp)
+    tsv_points = _shift(tsv_local, dram_origin)
+    bump_location = spec.effective_bump_location(config)
+    if (
+        config.tsv_location is TSVLocation.EDGE
+        and bump_location is BumpLocation.CENTER
+        and not config.rdl.enabled
+    ):
+        raise ConfigurationError(
+            f"{spec.name}: edge TSVs with center bumps need an RDL "
+            "(section 6.2)"
+        )
+    if bump_location is BumpLocation.CENTER:
+        bump_points = _shift(center_bump_points(fp.outline, config.tsv_count), dram_origin)
+        detours = [0.0] * len(bump_points)  # balls route to the cluster
+    else:
+        bump_points = tsv_points
+        if on_chip:
+            # Misalignment on the logic die escapes through thin congested
+            # lower metals; on a package it uses thick laminate routing.
+            align_outline = spec.logic_floorplan.outline
+            align_c4 = C4Tech(
+                resistance=tech.c4.resistance,
+                pitch=tech.c4.pitch,
+                detour_res_per_mm=tech.logic_escape_res_per_mm,
+            )
+        else:
+            align_outline = fp.outline
+            align_c4 = tech.c4
+        detours = alignment_detours(
+            tsv_points, align_outline, align_c4, config.tsv_aligned
+        )
+
+    rdl_all = config.rdl is RDLScope.ALL
+    rdl_bottom = config.rdl.enabled
+
+    # --- bottom interface (package or logic -> dram1) ----------------------------
+    bottom_key = dram_keys[0]["M3"]
+    if on_chip and not config.dedicated_tsv:
+        # TSV landing pads tie into the logic grid at the intermediate
+        # level: through the logic PDN, so the dies' noises couple
+        # (section 3.1).
+        below_key = logic_keys["ML2"]
+        # Logic TSV + interface TSV + backside landing / tie-in resistance.
+        through_res = 2.0 * tech.tsv.resistance + tech.logic_landing_res
+        base_c4 = 0.0
+    elif on_chip and config.dedicated_tsv:
+        below_key = plane_key  # via-last TSVs bypass the logic PDN
+        through_res = tech.dedicated_tsv.resistance * 2.0
+        base_c4 = tech.c4.resistance
+    else:
+        below_key = plane_key
+        through_res = tech.tsv.resistance
+        base_c4 = tech.c4.resistance
+
+    if rdl_bottom:
+        rdl0 = _add_rdl_layer(model, "dram1", dram_grid, dram_origin, tech)
+        model.connect_layers_at_points(
+            below_key,
+            rdl0,
+            bump_points,
+            [1.0 / (base_c4 + MICROBUMP_RES + d) for d in detours],
+        )
+        model.connect_layers_at_points(
+            rdl0, bottom_key, tsv_points, 1.0 / through_res
+        )
+    else:
+        model.connect_layers_at_points(
+            below_key,
+            bottom_key,
+            bump_points,
+            [1.0 / (base_c4 + through_res + d) for d in detours],
+        )
+
+    # --- inter-die interfaces -------------------------------------------------------
+    for die in range(spec.num_dram_dies - 1):
+        lower = dram_keys[die]["M3"]
+        upper = dram_keys[die + 1]["M3"]
+        f2f_pair = config.bonding is Bonding.F2F and die % 2 == 0
+        if f2f_pair:
+            model.connect_layers_uniform(lower, upper, tech.f2f.conductance_per_mm2)
+            continue
+        # F2B everywhere, or the B2B interface between F2F pairs.
+        if config.bonding is Bonding.F2F:
+            link_res = tech.tsv.series(2)  # back-to-back: two TSVs
+        else:
+            link_res = tech.tsv.resistance
+        if rdl_all:
+            # Between identical DRAM dies the face bumps sit directly under
+            # the TSVs; the center-bump constraint only exists at the host
+            # interface (JEDEC pads), so no lateral zigzag happens here.
+            rdl_key = _add_rdl_layer(model, f"dram{die + 2}", dram_grid, dram_origin, tech)
+            model.connect_layers_at_points(
+                lower, rdl_key, tsv_points, 1.0 / (MICROBUMP_RES + link_res / 2.0)
+            )
+            model.connect_layers_at_points(
+                rdl_key, upper, tsv_points, 1.0 / (link_res / 2.0)
+            )
+        else:
+            model.connect_layers_at_points(
+                lower, upper, tsv_points, 1.0 / link_res
+            )
+
+    # --- wire bonding -----------------------------------------------------------------
+    if config.wire_bond:
+        pads = _shift(
+            wirebond_points(fp.outline, tech.wirebond.groups_per_edge), dram_origin
+        )
+        top_key = dram_keys[-1]["M3"]
+        model.connect_layers_at_points(
+            plane_key, top_key, pads, tech.wirebond.group_conductance
+        )
+
+    return PDNStack(
+        model=model,
+        spec=spec,
+        config=config,
+        tech=tech,
+        dram_grid=dram_grid,
+        dram_origin=dram_origin,
+        logic_grid=logic_grid,
+    )
+
+
+def build_single_die_stack(
+    floorplan: DieFloorplan,
+    power: DramPowerSpec,
+    config: Optional[PDNConfig] = None,
+    tech: TechConstants = DEFAULT_TECH,
+    pitch: Optional[float] = None,
+    pad_resistance: float = 0.09,
+    pad_count: int = 40,
+) -> PDNStack:
+    """A conventional 2D (single-die) DRAM for the Figure 4 validation.
+
+    The 2D part is wire-bonded through a row of pads along the center
+    spine, the standard DDR3 package style.  Reuses the PDNStack API with
+    a one-die "stack".
+    """
+    config = config or PDNConfig()
+    pitch = pitch or tech.mesh_pitch
+    grid = Grid2D.from_pitch(floorplan.outline, pitch)
+    model = StackModel()
+
+    plane_mesh = LayerMesh(
+        grid=Grid2D(floorplan.outline, 1, 1),
+        gx=np.zeros((1, 0)),
+        gy=np.zeros((0, 1)),
+        name="plane",
+    )
+    plane_key = model.add_layer("package", plane_mesh, key="package/plane")
+    model.connect_supply_at_points(
+        plane_key, [floorplan.outline.center], 1.0 / tech.package_spreading_res
+    )
+    keys = _add_dram_die(model, "dram1", grid, Point(0.0, 0.0), config, tech)
+
+    # Pad ring around the die (power pads + package ring redistribution,
+    # the Encounter-style PG ring hookup of the generated 2D design).
+    ring = floorplan.outline.inset(0.20)
+    perimeter = 2.0 * (ring.width + ring.height)
+    pads = list(ring.edge_points(perimeter / pad_count))[:pad_count]
+    model.connect_layers_at_points(
+        plane_key, keys["M3"], pads, 1.0 / pad_resistance
+    )
+
+    spec = StackSpec(
+        name="ddr3_2d",
+        dram_floorplan=floorplan,
+        dram_power=power,
+        num_dram_dies=1,
+        mounting=Mounting.OFF_CHIP,
+    )
+    return PDNStack(
+        model=model,
+        spec=spec,
+        config=config,
+        tech=tech,
+        dram_grid=grid,
+        dram_origin=Point(0.0, 0.0),
+        logic_grid=None,
+    )

@@ -1,0 +1,177 @@
+"""TSV, bump and wire-bond placement plus the C4 alignment model.
+
+Placement generators return stack-coordinate points for a die outline.
+The alignment model (paper section 3.2) measures, for every TSV, the
+Manhattan distance to the nearest C4 bump of a regular bump field; the
+detour resistance of that escape route is charged in series with the TSV.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.floorplan.blocks import BlockType
+from repro.geometry import Point, Rect
+from repro.pdn.config import PDNConfig, TSVLocation
+from repro.tech.vertical import C4Tech
+
+
+def _cluster_grid(region: Rect, count: int) -> List[Point]:
+    """``count`` points on a near-square grid filling ``region``."""
+    if count < 1:
+        raise ConfigurationError("need at least one TSV")
+    aspect = region.width / region.height if region.height > 0 else 1.0
+    cols = max(1, int(round(math.sqrt(count * aspect))))
+    rows = max(1, math.ceil(count / cols))
+    points: List[Point] = []
+    for k in range(count):
+        r, c = divmod(k, cols)
+        # Center the grid; rows fill bottom-up.
+        x = region.x0 + (c + 0.5) * region.width / cols
+        y = region.y0 + (r + 0.5) * region.height / rows
+        points.append(Point(x, y))
+    return points
+
+
+#: TSV placement pitch inside a center cluster (TSV + keep-out zone), mm.
+CENTER_CLUSTER_PITCH = 0.45
+
+
+def center_tsv_points(
+    outline: Rect, count: int, tsv_pitch: "float | None" = None
+) -> List[Point]:
+    """Group all TSVs into a cluster at the die center (section 3.3:
+    "center TSV ... does not block routing on the logic die").
+
+    The cluster's physical size follows from the TSV pitch: ``count`` TSVs
+    occupy a roughly square region of side ``sqrt(count) * tsv_pitch``
+    (capped at 60% of the die).  Small TSV counts therefore crowd all the
+    supply current through a tiny region -- part of why the cheapest
+    configurations of Table 9 have such poor IR drop.
+    """
+    if tsv_pitch is None:
+        tsv_pitch = CENTER_CLUSTER_PITCH
+    side = math.sqrt(max(count, 1)) * tsv_pitch
+    width = min(side, 0.6 * outline.width)
+    height = min(side, 0.6 * outline.height)
+    region = Rect.centered(outline.center, width, height)
+    return _cluster_grid(region, count)
+
+
+def edge_tsv_points(outline: Rect, count: int, inset: float = 0.25) -> List[Point]:
+    """Ring of TSVs along the die perimeter (section 3.3 edge TSVs,
+    after [Kang et al., JSSC'10])."""
+    ring = outline.inset(inset)
+    perimeter = 2.0 * (ring.width + ring.height)
+    spacing = perimeter / max(count, 1)
+    points = list(ring.edge_points(spacing))
+    return points[:count] if len(points) >= count else points
+
+
+def distributed_tsv_points(
+    outline: Rect,
+    count: int,
+    floorplan: "DieFloorplan | None" = None,
+    inset: float = 0.3,
+) -> List[Point]:
+    """Distribute TSVs across the die (HMC style, section 6.1).
+
+    When the floorplan reserves TSV regions (HMC vaults), points are
+    spread round-robin over those regions; otherwise a uniform grid over
+    the (inset) die is used.
+    """
+    regions: Sequence[Rect] = ()
+    if floorplan is not None:
+        regions = [b.rect for b in floorplan.blocks_of_type(BlockType.TSV_REGION)]
+    if not regions:
+        return _cluster_grid(outline.inset(inset), count)
+    points: List[Point] = []
+    per_region = [count // len(regions)] * len(regions)
+    for k in range(count % len(regions)):
+        per_region[k] += 1
+    for region, n in zip(regions, per_region):
+        if n:
+            points.extend(_cluster_grid(region, n))
+    return points
+
+
+def tsv_points_for_config(
+    outline: Rect,
+    config: PDNConfig,
+    floorplan: "DieFloorplan | None" = None,
+) -> List[Point]:
+    """TSV positions for a configuration's location style and count."""
+    if config.tsv_location is TSVLocation.CENTER:
+        return center_tsv_points(outline, config.tsv_count)
+    if config.tsv_location is TSVLocation.EDGE:
+        return edge_tsv_points(outline, config.tsv_count)
+    return distributed_tsv_points(outline, config.tsv_count, floorplan)
+
+
+def center_bump_points(outline: Rect, count: int) -> List[Point]:
+    """Bump cluster at the die center (JEDEC Wide I/O style)."""
+    return center_tsv_points(outline, count)
+
+
+def wirebond_points(outline: Rect, groups_per_edge: int, inset: float = 0.12) -> List[Point]:
+    """Backside wire-bond pad groups around the top die perimeter
+    (section 4.1)."""
+    ring = outline.inset(inset)
+    perimeter = 2.0 * (ring.width + ring.height)
+    count = 4 * groups_per_edge
+    return list(ring.edge_points(perimeter / count))[:count]
+
+
+# ---------------------------------------------------------------------------
+# C4 alignment model
+# ---------------------------------------------------------------------------
+
+
+def nearest_c4_distance(point: Point, outline: Rect, pitch: float) -> float:
+    """Manhattan distance from ``point`` to the nearest bump of a regular
+    C4 field of the given pitch anchored at the die's lower-left corner
+    (bumps at half-pitch offsets, matching the mesh convention)."""
+    if pitch <= 0.0:
+        raise ConfigurationError("C4 pitch must be positive")
+
+    def axis_dist(coord: float, lo: float, hi: float) -> float:
+        # Bump rows at lo + (k + 0.5) * pitch, clamped inside the outline.
+        k = round((coord - lo) / pitch - 0.5)
+        k = min(max(k, 0), max(int((hi - lo) / pitch) - 1, 0))
+        return abs(coord - (lo + (k + 0.5) * pitch))
+
+    return axis_dist(point.x, outline.x0, outline.x1) + axis_dist(
+        point.y, outline.y0, outline.y1
+    )
+
+
+def alignment_detours(
+    points: Sequence[Point],
+    outline: Rect,
+    c4: C4Tech,
+    aligned: bool,
+) -> List[float]:
+    """Per-TSV detour resistance (ohm) from the alignment model.
+
+    ``aligned=True`` models the optimized placement of section 3.2
+    ("carefully placing TSVs near C4 bumps ... reducing average C4-to-TSV
+    distance"): the detour vanishes.  Otherwise each TSV pays the escape
+    route to its nearest bump.
+    """
+    if aligned:
+        return [0.0] * len(points)
+    return [
+        c4.detour_resistance(nearest_c4_distance(p, outline, c4.pitch))
+        for p in points
+    ]
+
+
+def mean_alignment_distance(
+    points: Sequence[Point], outline: Rect, pitch: float
+) -> float:
+    """Average C4-to-TSV Manhattan distance, mm (Figure 5 metric)."""
+    if not points:
+        return 0.0
+    return sum(nearest_c4_distance(p, outline, pitch) for p in points) / len(points)

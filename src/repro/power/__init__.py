@@ -1,0 +1,21 @@
+"""Power modelling: memory states, die power, and rasterized power maps.
+
+The paper obtains detailed DDR3 power maps through industry collaboration
+(section 2.1); this package replaces them with a synthetic model calibrated
+to the aggregate numbers the paper publishes (Table 5 and the 2D anchors).
+See DESIGN.md section 2 for the substitution rationale.
+"""
+
+from repro.power.state import MemoryState
+from repro.power.model import DramPowerSpec, LogicPowerSpec, die_power_mw
+from repro.power.powermap import PowerMap, dram_power_map, logic_power_map
+
+__all__ = [
+    "MemoryState",
+    "DramPowerSpec",
+    "LogicPowerSpec",
+    "die_power_mw",
+    "PowerMap",
+    "dram_power_map",
+    "logic_power_map",
+]

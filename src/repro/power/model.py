@@ -1,0 +1,207 @@
+"""Calibrated die power model.
+
+The paper scales power measurements from Samsung and Micron into
+20nm-class DRAM technology (section 2.1); the measured maps themselves are
+proprietary.  This module reconstructs an equivalent block-level model
+from the aggregate numbers the paper publishes:
+
+* Table 5 active-die powers for stacked DDR3 under interleaved read:
+  220.5 mW at 100% I/O activity, 175.5 mW at 50%, 126.0 mW at 25%, with
+  idle dies near 27-30 mW;
+* the 2D DDR3 anchors of section 2.2 (22.5 mV single-bank read).
+
+Decomposition (per die)::
+
+    P_die = standby                                  (always)
+          + sum over active channels:
+                io_base + act_c * io_dyn             (channel periphery+IO)
+          + sum over active banks:
+                bank_static + duty_b * bank_dyn      (array + decoders)
+
+where ``act_c`` is the channel's I/O activity (bus occupancy share of this
+die) and ``duty_b = act_c`` for every interleaved bank: zero-bubble
+interleaving hides tRC by row-cycling each bank while its partner bursts,
+so every active bank's array works at the bus activity rate (this is why
+IDD7 exceeds IDD4R and why the two-bank 2D IR drop beats single-bank).
+
+With the stacked-DDR3 constants below the model reproduces Table 5's 100%
+and 50% rows exactly; the 25% row comes out at 153.0 mW against the
+paper's 126.0 mW (the paper's own text quotes -44.7% ~ 121.9 mW for that
+row, so the source table is internally inconsistent at 25%; we keep the
+model linear in activity and record the deviation in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.floorplan.blocks import BlockType, DieFloorplan
+from repro.power.state import MemoryState
+
+
+@dataclass(frozen=True)
+class DramPowerSpec:
+    """Per-die DRAM power constants, all in mW.
+
+    ``standby_mw`` is the whole idle die; the other terms are per channel
+    or per bank as described in the module docstring.
+    """
+
+    standby_mw: float
+    io_base_mw: float
+    io_dyn_mw: float
+    bank_static_mw: float
+    bank_dyn_mw: float
+    #: fraction of each active bank's power drawn by its column decoders
+    #: and I/O drivers, which sit in the center-spine segment aligned with
+    #: the bank's columns (the rest is in the array itself).  Banks in the
+    #: same column share that spine segment, concentrating current --
+    #: the source of the worst-case edge-column state of Table 5.
+    decoder_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("standby_mw", "io_base_mw", "io_dyn_mw", "bank_static_mw", "bank_dyn_mw"):
+            if getattr(self, name) < 0.0:
+                raise ConfigurationError(f"{name} must be >= 0")
+        if not 0.0 <= self.decoder_fraction <= 1.0:
+            raise ConfigurationError("decoder_fraction must be in [0, 1]")
+
+
+#: Stacked DDR3, calibrated to Table 5 (see module docstring).
+#: active die @ (2 banks, act=1.0) = 27 + 23.5 + 2*(40 + 45)       = 220.5 mW
+#: active die @ (2 banks, act=0.5) = 27 + 23.5 + 2*(40 + 22.5)     = 175.5 mW
+#: The bank-vs-periphery split and the decoder fraction are chosen so
+#: that single-bank memory states stay well under the paper's 24 mV
+#: policy constraint while the worst-case two-banks-on-one-die states
+#: exceed it -- the structural requirement of section 5.2 (the IR-aware
+#: policy must be able to schedule *something*, yet the IDD7 state
+#: 0-0-0-2 must be forbidden).
+DDR3_POWER = DramPowerSpec(
+    standby_mw=27.0,
+    io_base_mw=23.5,
+    io_dyn_mw=0.0,
+    bank_static_mw=40.0,
+    bank_dyn_mw=45.0,
+    decoder_fraction=0.35,
+)
+
+#: Wide I/O: mobile low-power part (200 Mbps/pin, Table 1); constants are
+#: per channel / per bank, four channels per die.
+WIDEIO_POWER = DramPowerSpec(
+    standby_mw=8.0,
+    io_base_mw=3.0,
+    io_dyn_mw=6.0,
+    bank_static_mw=5.0,
+    bank_dyn_mw=7.0,
+    decoder_fraction=0.25,
+)
+
+#: HMC: high-bandwidth part (2500 Mbps/pin, 16 vaults); large power
+#: consumption is the benchmark's defining trait (section 2.1).
+HMC_POWER = DramPowerSpec(
+    standby_mw=110.0,
+    io_base_mw=9.0,
+    io_dyn_mw=26.0,
+    bank_static_mw=18.0,
+    bank_dyn_mw=30.0,
+    decoder_fraction=0.25,
+)
+
+
+def channel_bank_power_mw(
+    spec: DramPowerSpec, banks_in_channel_on_die: int, activity: float
+) -> float:
+    """Power of the active banks of one channel on one die.
+
+    Every interleaved bank row-cycles at the channel's bus activity rate
+    (see module docstring), so both the static and the dynamic terms scale
+    with the bank count.
+    """
+    if banks_in_channel_on_die < 0:
+        raise ConfigurationError("bank count must be >= 0")
+    if not 0.0 <= activity <= 1.0:
+        raise ConfigurationError(f"activity must be in [0, 1], got {activity}")
+    if banks_in_channel_on_die == 0:
+        return 0.0
+    return banks_in_channel_on_die * (
+        spec.bank_static_mw + activity * spec.bank_dyn_mw
+    )
+
+
+def die_power_mw(
+    spec: DramPowerSpec,
+    floorplan: DieFloorplan,
+    state: MemoryState,
+    die: int,
+) -> float:
+    """Total power of one die in a memory state, mW."""
+    total = spec.standby_mw
+    banks = state.active[die]
+    if not banks:
+        return total
+    bank_channel = {b.bank_id: b.channel for b in floorplan.banks()}
+    per_channel: Dict[int, int] = {}
+    for bank_id in banks:
+        if bank_id not in bank_channel:
+            raise ConfigurationError(
+                f"bank {bank_id} not in floorplan {floorplan.name!r}"
+            )
+        chan = bank_channel[bank_id]
+        per_channel[chan] = per_channel.get(chan, 0) + 1
+    for chan, count in per_channel.items():
+        act = state.channel_io_activity(die, chan, floorplan)
+        total += spec.io_base_mw + act * spec.io_dyn_mw
+        total += channel_bank_power_mw(spec, count, act)
+    return total
+
+
+def stack_power_mw(
+    spec: DramPowerSpec, floorplan: DieFloorplan, state: MemoryState
+) -> float:
+    """Total power of the whole DRAM stack in a memory state, mW."""
+    return sum(
+        die_power_mw(spec, floorplan, state, die) for die in range(state.num_dies)
+    )
+
+
+@dataclass(frozen=True)
+class LogicPowerSpec:
+    """Logic die power split by block type, mW per block.
+
+    The logic die runs continuously in the on-chip scenarios; its noise
+    couples into the DRAM when the PDNs are shared (paper section 3.1,
+    50.05 mV logic self noise).
+    """
+
+    per_block_mw: Dict[BlockType, float]
+    background_mw: float = 0.0
+
+    def total_mw(self, floorplan: DieFloorplan) -> float:
+        """Total logic die power for a floorplan."""
+        total = self.background_mw
+        for block in floorplan.blocks:
+            total += self.per_block_mw.get(block.type, 0.0)
+        return total
+
+
+#: OpenSPARC T2 in 28 nm.  Tuned so the logic die's self IR drop lands near
+#: the paper's 50.05 mV with the fixed logic PDN of tech.calibration.
+T2_LOGIC_POWER = LogicPowerSpec(
+    per_block_mw={
+        BlockType.CORE: 680.0,
+        BlockType.CACHE: 1450.0,
+        BlockType.SOC: 120.0,
+    },
+    background_mw=300.0,
+)
+
+#: HMC logic die: vault controllers plus SerDes links.
+HMC_LOGIC_POWER = LogicPowerSpec(
+    per_block_mw={
+        BlockType.VAULT_CTRL: 300.0,
+        BlockType.SERDES: 1600.0,
+    },
+    background_mw=400.0,
+)

@@ -1,0 +1,15 @@
+"""Regression analysis of the IR-drop design space (paper section 6.1)."""
+
+from repro.regress.model import (
+    DesignSample,
+    IRDropSurrogate,
+    RegressionReport,
+    sample_design_space,
+)
+
+__all__ = [
+    "DesignSample",
+    "IRDropSurrogate",
+    "RegressionReport",
+    "sample_design_space",
+]

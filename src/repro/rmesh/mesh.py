@@ -1,0 +1,138 @@
+"""Per-layer resistive meshes.
+
+One metal layer of one die becomes a 2D grid of nodes connected by edge
+conductances.  The conductance of the x-directed edge between nodes
+(i, j) and (i+1, j) follows from the effective sheet resistance of the
+PDN on that layer::
+
+    g_x = (1 / rho_eff) * (dy / dx) * w_x
+
+where ``w_x`` is the direction weight (a vertically-routed layer carries
+little x current) and ``rho_eff = rho_sheet / usage`` accounts for the
+fraction of the layer used by VDD straps (paper section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.errors import MeshError
+from repro.geometry import Grid2D
+from repro.tech.metals import MetalLayer
+
+
+@dataclass
+class LayerMesh:
+    """A resistive mesh for one metal layer.
+
+    ``gx`` has shape (ny, nx-1): conductance of the edge from (i, j) to
+    (i+1, j).  ``gy`` has shape (ny-1, nx): edge from (i, j) to (i, j+1).
+    Conductances may vary per edge (PG rings thicken the boundary).
+    """
+
+    grid: Grid2D
+    gx: np.ndarray
+    gy: np.ndarray
+    name: str = "layer"
+
+    def __post_init__(self) -> None:
+        if self.gx.shape != (self.grid.ny, self.grid.nx - 1):
+            raise MeshError(
+                f"{self.name}: gx shape {self.gx.shape} != "
+                f"({self.grid.ny}, {self.grid.nx - 1})"
+            )
+        if self.gy.shape != (self.grid.ny - 1, self.grid.nx):
+            raise MeshError(
+                f"{self.name}: gy shape {self.gy.shape} != "
+                f"({self.grid.ny - 1}, {self.grid.nx})"
+            )
+        if np.any(self.gx < 0.0) or np.any(self.gy < 0.0):
+            raise MeshError(f"{self.name}: negative edge conductance")
+
+    @classmethod
+    def from_layer(
+        cls,
+        grid: Grid2D,
+        layer: MetalLayer,
+        usage: float,
+        name: str = "",
+    ) -> "LayerMesh":
+        """Build a uniform mesh for ``layer`` at PDN usage ``usage``."""
+        rho_eff = layer.effective_sheet_res(usage)
+        wx, wy = layer.direction.direction_weights()
+        gx_val = (1.0 / rho_eff) * (grid.dy / grid.dx) * wx
+        gy_val = (1.0 / rho_eff) * (grid.dx / grid.dy) * wy
+        return cls(
+            grid=grid,
+            gx=np.full((grid.ny, grid.nx - 1), gx_val),
+            gy=np.full((grid.ny - 1, grid.nx), gy_val),
+            name=name or layer.name,
+        )
+
+    @property
+    def num_nodes(self) -> int:
+        return self.grid.num_nodes
+
+    @property
+    def num_resistors(self) -> int:
+        """Number of resistive edges in this layer (Figure 4 reports the
+        reduced resistor count as the source of the R-Mesh speedup)."""
+        return self.gx.size + self.gy.size
+
+    def add_pg_ring(self, boost: float, rings: int = 1) -> None:
+        """Strengthen the outermost ``rings`` node rows/columns by ``boost``.
+
+        Models the PG ring the PDN generator draws around each die
+        (section 2.2: "PG rings, vias, and inter-die connections are
+        generated automatically").
+        """
+        if boost < 1.0:
+            raise MeshError(f"PG ring boost must be >= 1, got {boost}")
+        for r in range(rings):
+            # x-directed edges along the bottom and top boundary rows.
+            self.gx[r, :] *= boost
+            self.gx[-1 - r, :] *= boost
+            # y-directed edges along the left and right boundary columns.
+            self.gy[:, r] *= boost
+            self.gy[:, -1 - r] *= boost
+
+    def iter_edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Yield (node_a, node_b, conductance) for every mesh edge.
+
+        Node ids are layer-local flat grid ids; :class:`StackModel` adds
+        per-layer offsets when assembling the global matrix.
+        """
+        nx = self.grid.nx
+        for j in range(self.grid.ny):
+            for i in range(nx - 1):
+                g = self.gx[j, i]
+                if g > 0.0:
+                    yield j * nx + i, j * nx + i + 1, g
+        for j in range(self.grid.ny - 1):
+            for i in range(nx):
+                g = self.gy[j, i]
+                if g > 0.0:
+                    yield j * nx + i, (j + 1) * nx + i, g
+
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized form of :meth:`iter_edges`: (a, b, g) arrays.
+
+        Used by the assembler; building via numpy keeps stack assembly
+        fast on fine reference grids.
+        """
+        nx, ny = self.grid.nx, self.grid.ny
+        node = np.arange(nx * ny).reshape(ny, nx)
+        ax = node[:, :-1].reshape(-1)
+        bx = node[:, 1:].reshape(-1)
+        gx = self.gx.reshape(-1)
+        ay = node[:-1, :].reshape(-1)
+        by = node[1:, :].reshape(-1)
+        gy = self.gy.reshape(-1)
+        return (
+            np.concatenate([ax, ay]),
+            np.concatenate([bx, by]),
+            np.concatenate([gx, gy]),
+        )

@@ -1,0 +1,138 @@
+"""Sparse DC solve of an assembled stack and IR-drop extraction.
+
+The solver factorizes the conductance matrix once (scipy SuperLU) and
+reuses the factorization across memory states: a new state only changes
+the current right-hand side.  This is what makes building the controller's
+IR-drop look-up table (section 5.2) cheap -- one factorization, dozens of
+back-substitutions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+import numpy as np
+import scipy.sparse.linalg as spla
+
+from repro.errors import SolverError
+from repro.geometry import Point
+from repro.power.powermap import PowerMap
+from repro.rmesh.stack import StackModel
+from repro.units import to_mv
+
+
+@dataclass
+class IRDropResult:
+    """Node IR drops (volts) plus bookkeeping to slice them per die/layer."""
+
+    model: StackModel
+    drops: np.ndarray  # per global node, volts
+    solve_time: float  # seconds spent in back-substitution
+
+    def max_drop(self) -> float:
+        """Worst IR drop anywhere in the stack, volts."""
+        return float(self.drops.max())
+
+    def max_drop_mv(self) -> float:
+        return to_mv(self.max_drop())
+
+    def die_max_drop(self, die: str) -> float:
+        """Worst IR drop on one die, volts."""
+        return float(self.drops[self.model.die_node_ids(die)].max())
+
+    def die_max_drop_mv(self, die: str) -> float:
+        return to_mv(self.die_max_drop(die))
+
+    def layer_drops(self, key: str) -> np.ndarray:
+        """IR drops of one layer reshaped to its grid (ny, nx)."""
+        grid = self.model.layer_grid(key)
+        return self.drops[self.model.layer_slice(key)].reshape(grid.ny, grid.nx)
+
+    def per_die_max_mv(self) -> Dict[str, float]:
+        """Worst drop per die in mV (report helper)."""
+        return {die: self.die_max_drop_mv(die) for die in self.model.dies()}
+
+    def ascii_heatmap(self, key: str, levels: str = " .:-=+*#%@") -> str:
+        """Render one layer's IR-drop field as an ASCII heat map.
+
+        Rows print top-down (max y first) so the picture matches a
+        top-view layout plot; intensity is normalized to the layer's own
+        maximum drop.  Handy for eyeballing hotspots in a terminal.
+        """
+        field = self.layer_drops(key)
+        peak = float(field.max())
+        lines = [f"{key}: max {peak * 1e3:.2f} mV"]
+        span = peak if peak > 0 else 1.0
+        for row in field[::-1]:
+            chars = [
+                levels[min(int(v / span * (len(levels) - 1)), len(levels) - 1)]
+                for v in row
+            ]
+            lines.append("".join(chars))
+        return "\n".join(lines)
+
+    def worst_node_location(self) -> "tuple[str, Point]":
+        """(layer key, stack-coordinate point) of the worst-drop node."""
+        node = int(np.argmax(self.drops))
+        for key in self.model.layer_keys:
+            sl = self.model.layer_slice(key)
+            if sl.start <= node < sl.stop:
+                grid = self.model.layer_grid(key)
+                i, j = grid.node_index(node - sl.start)
+                local = grid.node_point(i, j)
+                origin = self.model.layer_origin(key)
+                return key, Point(local.x + origin.x, local.y + origin.y)
+        raise SolverError(f"node {node} not inside any layer")  # pragma: no cover
+
+
+class StackSolver:
+    """Factorize a stack once, solve many load configurations."""
+
+    def __init__(self, model: StackModel) -> None:
+        self.model = model
+        matrix = model.conductance_matrix().tocsc()
+        t0 = time.perf_counter()
+        try:
+            self._lu = spla.splu(matrix)
+        except RuntimeError as exc:  # singular matrix
+            raise SolverError(f"factorization failed: {exc}") from exc
+        self.factor_time = time.perf_counter() - t0
+        self._num_nodes = model.num_nodes
+
+    def solve_currents(self, currents: np.ndarray) -> IRDropResult:
+        """Solve for node drops given a per-node current vector (A)."""
+        if currents.shape != (self._num_nodes,):
+            raise SolverError(
+                f"current vector has shape {currents.shape}, expected "
+                f"({self._num_nodes},)"
+            )
+        if np.any(currents < -1e-15):
+            raise SolverError("negative load current: loads draw from VDD")
+        t0 = time.perf_counter()
+        drops = self._lu.solve(currents)
+        elapsed = time.perf_counter() - t0
+        if not np.all(np.isfinite(drops)):
+            raise SolverError("solve produced non-finite drops")
+        return IRDropResult(model=self.model, drops=drops, solve_time=elapsed)
+
+    def solve_power_maps(
+        self, maps: Mapping[str, PowerMap]
+    ) -> IRDropResult:
+        """Solve with loads given as power maps keyed by layer key.
+
+        Each power map must be rasterized on the same grid as its target
+        layer; the map's currents are drawn from that layer's nodes.
+        """
+        currents = np.zeros(self._num_nodes)
+        for key, pmap in maps.items():
+            sl = self.model.layer_slice(key)
+            grid = self.model.layer_grid(key)
+            if pmap.grid.nx != grid.nx or pmap.grid.ny != grid.ny:
+                raise SolverError(
+                    f"power map grid {pmap.grid.nx}x{pmap.grid.ny} does not "
+                    f"match layer {key!r} grid {grid.nx}x{grid.ny}"
+                )
+            currents[sl] += pmap.flat()
+        return self.solve_currents(currents)

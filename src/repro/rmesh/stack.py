@@ -1,0 +1,284 @@
+"""3D stack assembly: layers + vertical links -> one conductance network.
+
+A :class:`StackModel` collects per-layer meshes (with a per-die placement
+offset so dies of different sizes can be stacked), vertical links between
+layers (vias, TSVs, F2F bond vias, B2B bonds, RDL attachments), and supply
+links to the ideal package node.  It produces the sparse conductance
+matrix that :class:`repro.rmesh.solve.StackSolver` factorizes.
+
+The ideal supply is eliminated: with node drops ``u = VDD - v`` the system
+is ``G u = J`` where supply links contribute only to the diagonal and
+loads inject their current at their node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import MeshError
+from repro.geometry import Point
+from repro.rmesh.mesh import LayerMesh
+
+
+@dataclass(frozen=True)
+class VerticalLink:
+    """A lumped conductance between one node of two different layers."""
+
+    node_a: int  # global node id
+    node_b: int
+    conductance: float
+
+
+@dataclass(frozen=True)
+class SupplyLink:
+    """A lumped conductance from a node to the ideal package supply."""
+
+    node: int  # global node id
+    conductance: float
+
+
+@dataclass
+class _LayerEntry:
+    key: str
+    die: str
+    mesh: LayerMesh
+    offset: int  # global id of this layer's node 0
+    origin: Point  # placement of the layer's grid origin in stack coords
+
+
+class StackModel:
+    """A mutable builder for the global resistive network."""
+
+    def __init__(self) -> None:
+        self._layers: List[_LayerEntry] = []
+        self._by_key: Dict[str, _LayerEntry] = {}
+        self._links: List[VerticalLink] = []
+        self._supply: List[SupplyLink] = []
+        self._num_nodes = 0
+
+    # -- construction ---------------------------------------------------------
+
+    def add_layer(
+        self,
+        die: str,
+        mesh: LayerMesh,
+        origin: Point = Point(0.0, 0.0),
+        key: Optional[str] = None,
+    ) -> str:
+        """Register a layer mesh; returns its key (``"die/layer"``).
+
+        ``origin`` places the layer's local (0, 0) in stack coordinates so
+        that dies of different sizes can be aligned (e.g. a DRAM die
+        centered over a larger logic die).
+        """
+        key = key or f"{die}/{mesh.name}"
+        if key in self._by_key:
+            raise MeshError(f"duplicate layer key {key!r}")
+        entry = _LayerEntry(
+            key=key, die=die, mesh=mesh, offset=self._num_nodes, origin=origin
+        )
+        self._layers.append(entry)
+        self._by_key[key] = entry
+        self._num_nodes += mesh.num_nodes
+        return key
+
+    def _entry(self, key: str) -> _LayerEntry:
+        try:
+            return self._by_key[key]
+        except KeyError:
+            raise MeshError(f"unknown layer {key!r}; have {list(self._by_key)}")
+
+    def node_at(self, key: str, point: Point) -> int:
+        """Global node id of the layer node nearest to a stack-coordinate
+        point (snapped to the layer's grid)."""
+        entry = self._entry(key)
+        local = Point(point.x - entry.origin.x, point.y - entry.origin.y)
+        i, j = entry.mesh.grid.nearest_node(local)
+        return entry.offset + entry.mesh.grid.node_id(i, j)
+
+    def connect_layers_at_points(
+        self,
+        key_a: str,
+        key_b: str,
+        points: Sequence[Point],
+        conductances: "float | Sequence[float]",
+    ) -> None:
+        """Link two layers at given stack-coordinate points.
+
+        ``conductances`` is either one value for all points or a per-point
+        sequence (used when each TSV carries its own alignment detour
+        resistance).  Links landing on the same node pair accumulate
+        (parallel conductances add).
+        """
+        if isinstance(conductances, (int, float)):
+            conductances = [float(conductances)] * len(points)
+        if len(conductances) != len(points):
+            raise MeshError(
+                f"{len(points)} points but {len(conductances)} conductances"
+            )
+        for point, g in zip(points, conductances):
+            if g <= 0.0:
+                raise MeshError(f"link conductance must be positive, got {g}")
+            self._links.append(
+                VerticalLink(self.node_at(key_a, point), self.node_at(key_b, point), g)
+            )
+
+    def connect_layers_uniform(
+        self, key_a: str, key_b: str, conductance_per_mm2: float
+    ) -> None:
+        """Link two layers at every node of the coarser layer, with an
+        area-scaled conductance.
+
+        Models distributed stitched vias inside a die and dense F2F bond
+        vias between dies: the total coupling per unit area is resolution
+        independent.  The link is placed at each node of the layer with
+        fewer nodes, attaching to the nearest node of the other layer.
+        """
+        if conductance_per_mm2 <= 0.0:
+            raise MeshError("area conductance must be positive")
+        a, b = self._entry(key_a), self._entry(key_b)
+        src, dst = (a, b) if a.mesh.num_nodes <= b.mesh.num_nodes else (b, a)
+        grid = src.mesh.grid
+        cell_area = grid.dx * grid.dy
+        g = conductance_per_mm2 * cell_area
+        for i, j in grid.iter_indices():
+            local = grid.node_point(i, j)
+            point = Point(local.x + src.origin.x, local.y + src.origin.y)
+            self._links.append(
+                VerticalLink(
+                    src.offset + grid.node_id(i, j),
+                    self.node_at(dst.key, point),
+                    g,
+                )
+            )
+
+    def connect_supply_at_points(
+        self,
+        key: str,
+        points: Sequence[Point],
+        conductances: "float | Sequence[float]",
+    ) -> None:
+        """Link layer nodes to the ideal supply (package) at given points."""
+        if isinstance(conductances, (int, float)):
+            conductances = [float(conductances)] * len(points)
+        if len(conductances) != len(points):
+            raise MeshError(
+                f"{len(points)} points but {len(conductances)} conductances"
+            )
+        for point, g in zip(points, conductances):
+            if g <= 0.0:
+                raise MeshError(f"supply conductance must be positive, got {g}")
+            self._supply.append(SupplyLink(self.node_at(key, point), g))
+
+    # -- inspection -------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def num_resistors(self) -> int:
+        """Total resistor count (mesh edges + links + supply links); the
+        paper's Figure 4 credits the R-Mesh speedup to reducing this."""
+        return (
+            sum(e.mesh.num_resistors for e in self._layers)
+            + len(self._links)
+            + len(self._supply)
+        )
+
+    @property
+    def layer_keys(self) -> List[str]:
+        return [e.key for e in self._layers]
+
+    def dies(self) -> List[str]:
+        seen: List[str] = []
+        for entry in self._layers:
+            if entry.die not in seen:
+                seen.append(entry.die)
+        return seen
+
+    def layer_slice(self, key: str) -> slice:
+        """Global node-id range of a layer."""
+        entry = self._entry(key)
+        return slice(entry.offset, entry.offset + entry.mesh.num_nodes)
+
+    def layer_grid(self, key: str):
+        return self._entry(key).mesh.grid
+
+    def layer_origin(self, key: str) -> Point:
+        return self._entry(key).origin
+
+    def die_layer_keys(self, die: str) -> List[str]:
+        return [e.key for e in self._layers if e.die == die]
+
+    def die_node_ids(self, die: str) -> np.ndarray:
+        """All global node ids belonging to a die."""
+        parts = [
+            np.arange(e.offset, e.offset + e.mesh.num_nodes)
+            for e in self._layers
+            if e.die == die
+        ]
+        if not parts:
+            raise MeshError(f"no layers registered for die {die!r}")
+        return np.concatenate(parts)
+
+    def has_supply(self) -> bool:
+        return bool(self._supply)
+
+    def vertical_links(self) -> List[VerticalLink]:
+        """All vertical links (TSVs, F2F vias, bond wires, via stitching)."""
+        return list(self._links)
+
+    def supply_links(self) -> List[SupplyLink]:
+        """All links to the ideal package supply."""
+        return list(self._supply)
+
+    def layer_entry(self, key: str):
+        """The internal layer record (mesh + offset + origin) for a key."""
+        return self._entry(key)
+
+    # -- matrix assembly ----------------------------------------------------------
+
+    def conductance_matrix(self) -> sp.csr_matrix:
+        """Assemble the reduced (supply-eliminated) conductance matrix."""
+        if self._num_nodes == 0:
+            raise MeshError("empty stack: no layers added")
+        if not self._supply:
+            raise MeshError(
+                "no supply connection: the network is floating and the "
+                "solve would be singular"
+            )
+        rows: List[np.ndarray] = []
+        cols: List[np.ndarray] = []
+        vals: List[np.ndarray] = []
+
+        def stamp(a: np.ndarray, b: np.ndarray, g: np.ndarray) -> None:
+            rows.extend((a, b, a, b))
+            cols.extend((a, b, b, a))
+            vals.extend((g, g, -g, -g))
+
+        for entry in self._layers:
+            a, b, g = entry.mesh.edge_arrays()
+            stamp(a + entry.offset, b + entry.offset, g)
+        if self._links:
+            a = np.fromiter((l.node_a for l in self._links), dtype=np.int64)
+            b = np.fromiter((l.node_b for l in self._links), dtype=np.int64)
+            g = np.fromiter((l.conductance for l in self._links), dtype=float)
+            stamp(a, b, g)
+        # Supply links only add to the diagonal (the supply node, at drop 0,
+        # is eliminated).
+        s = np.fromiter((l.node for l in self._supply), dtype=np.int64)
+        gs = np.fromiter((l.conductance for l in self._supply), dtype=float)
+        rows.append(s)
+        cols.append(s)
+        vals.append(gs)
+
+        matrix = sp.coo_matrix(
+            (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+            shape=(self._num_nodes, self._num_nodes),
+        )
+        return matrix.tocsr()

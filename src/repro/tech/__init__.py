@@ -1,0 +1,37 @@
+"""Technology parameters: metal stacks, TSVs, bumps, RDL, wire bonds.
+
+The numeric values live in :mod:`repro.tech.calibration` and are the only
+free parameters of the physical model; they were tuned once against the
+calibration anchors listed in DESIGN.md section 6 (the aggregate numbers
+the paper publishes) and are not touched by experiments.
+"""
+
+from repro.tech.metals import MetalLayer, MetalStack, RouteDirection
+from repro.tech.vertical import (
+    C4Tech,
+    F2FViaTech,
+    RDLTech,
+    TSVTech,
+    WireBondTech,
+)
+from repro.tech.calibration import (
+    TechConstants,
+    DEFAULT_TECH,
+    dram_metal_stack,
+    logic_metal_stack,
+)
+
+__all__ = [
+    "MetalLayer",
+    "MetalStack",
+    "RouteDirection",
+    "TSVTech",
+    "C4Tech",
+    "F2FViaTech",
+    "RDLTech",
+    "WireBondTech",
+    "TechConstants",
+    "DEFAULT_TECH",
+    "dram_metal_stack",
+    "logic_metal_stack",
+]

@@ -1,0 +1,123 @@
+"""Unit conventions and conversion helpers.
+
+The library uses a single consistent internal unit system so that numeric
+values can be passed between modules without ambiguity:
+
+========================  =========================
+Quantity                  Internal unit
+========================  =========================
+Length                    millimetre (mm)
+Resistance                ohm
+Sheet resistance          ohm / square
+Conductance               siemens
+Voltage                   volt
+Current                   ampere
+Power                     watt
+Time (device)             second
+Time (controller)         DRAM clock cycle
+========================  =========================
+
+Helpers below convert common engineering units (micrometres, millivolts,
+milliwatts, ...) into the internal system and back.  They are trivial by
+design: the point is that call sites read ``um(25)`` instead of a bare
+``0.025`` whose unit a reviewer has to guess.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Length
+# ---------------------------------------------------------------------------
+
+MM_PER_UM = 1e-3
+MM_PER_CM = 10.0
+
+
+def um(value: float) -> float:
+    """Convert micrometres to the internal length unit (mm)."""
+    return value * MM_PER_UM
+
+
+def mm(value: float) -> float:
+    """Identity helper so call sites can spell the unit explicitly."""
+    return float(value)
+
+
+def cm(value: float) -> float:
+    """Convert centimetres to mm."""
+    return value * MM_PER_CM
+
+
+def to_um(value_mm: float) -> float:
+    """Convert an internal length (mm) to micrometres."""
+    return value_mm / MM_PER_UM
+
+
+# ---------------------------------------------------------------------------
+# Electrical
+# ---------------------------------------------------------------------------
+
+
+def mohm(value: float) -> float:
+    """Convert milliohms to ohms."""
+    return value * 1e-3
+
+
+def ohm(value: float) -> float:
+    """Identity helper for ohms."""
+    return float(value)
+
+
+def mv(value: float) -> float:
+    """Convert millivolts to volts."""
+    return value * 1e-3
+
+
+def to_mv(value_v: float) -> float:
+    """Convert volts to millivolts."""
+    return value_v * 1e3
+
+
+def ma(value: float) -> float:
+    """Convert milliamperes to amperes."""
+    return value * 1e-3
+
+
+def to_ma(value_a: float) -> float:
+    """Convert amperes to milliamperes."""
+    return value_a * 1e3
+
+
+def mw(value: float) -> float:
+    """Convert milliwatts to watts."""
+    return value * 1e-3
+
+
+def to_mw(value_w: float) -> float:
+    """Convert watts to milliwatts."""
+    return value_w * 1e3
+
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+
+
+def ns(value: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return value * 1e-9
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * 1e-6
+
+
+def to_us(value_s: float) -> float:
+    """Convert seconds to microseconds."""
+    return value_s * 1e6
+
+
+def mhz(value: float) -> float:
+    """Convert megahertz to hertz."""
+    return value * 1e6

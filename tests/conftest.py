@@ -1,0 +1,68 @@
+"""Shared fixtures.
+
+Expensive objects (built stacks, factorized solvers, the IR-drop LUT) are
+session-scoped: they are immutable after construction and shared by many
+tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.controller import IRDropLUT
+from repro.designs import hmc, off_chip_ddr3, on_chip_ddr3, wide_io
+from repro.pdn import Bonding, build_stack
+
+
+@pytest.fixture(scope="session")
+def ddr3_off_bench():
+    return off_chip_ddr3()
+
+
+@pytest.fixture(scope="session")
+def ddr3_on_bench():
+    return on_chip_ddr3()
+
+
+@pytest.fixture(scope="session")
+def wideio_bench():
+    return wide_io()
+
+
+@pytest.fixture(scope="session")
+def hmc_bench():
+    return hmc()
+
+
+@pytest.fixture(scope="session")
+def ddr3_stack(ddr3_off_bench):
+    """Off-chip stacked DDR3 at its baseline configuration."""
+    return build_stack(ddr3_off_bench.stack, ddr3_off_bench.baseline)
+
+
+@pytest.fixture(scope="session")
+def ddr3_f2f_stack(ddr3_off_bench):
+    return build_stack(
+        ddr3_off_bench.stack,
+        ddr3_off_bench.baseline.with_options(bonding=Bonding.F2F),
+    )
+
+
+@pytest.fixture(scope="session")
+def onchip_stack(ddr3_on_bench):
+    """On-chip stack with coupled PDNs (no dedicated TSVs)."""
+    return build_stack(
+        ddr3_on_bench.stack,
+        ddr3_on_bench.baseline.with_options(dedicated_tsv=False),
+    )
+
+
+@pytest.fixture(scope="session")
+def ddr3_lut(ddr3_stack):
+    """Fully precomputed IR-drop LUT on the DDR3 baseline."""
+    return IRDropLUT(ddr3_stack)
+
+
+@pytest.fixture(scope="session")
+def ddr3_floorplan(ddr3_off_bench):
+    return ddr3_off_bench.stack.dram_floorplan

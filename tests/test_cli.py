@@ -1,0 +1,37 @@
+"""CLI entry points."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_validates_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "bogus"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table6" in out and "ddr3_off" in out
+
+    def test_run_table8(self, capsys):
+        assert main(["run", "table8"]) == 0
+        out = capsys.readouterr().out
+        assert "Cost model" in out
+
+    def test_solve_default_state(self, capsys):
+        assert main(["solve", "ddr3_off"]) == 0
+        out = capsys.readouterr().out
+        assert "DRAM max" in out and "dram4" in out
+
+    def test_solve_explicit_state_with_options(self, capsys):
+        assert main(["solve", "ddr3_off", "0-0-2b-2a", "--f2f", "--wirebond"]) == 0
+        out = capsys.readouterr().out
+        assert "BD=F2F" in out and "WB=Y" in out

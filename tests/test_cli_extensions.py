@@ -1,0 +1,30 @@
+"""CLI coverage for the extension experiments and report script."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import registry
+
+
+class TestExtensionRegistry:
+    def test_extensions_registered(self):
+        assert {"ext_crowding", "ext_transient", "ext_hmc"} <= set(registry)
+
+    def test_run_ext_crowding(self, capsys):
+        assert main(["run", "ext_crowding"]) == 0
+        out = capsys.readouterr().out
+        assert "crowding" in out
+        assert "crowding_factor" in out
+
+
+class TestReportScript:
+    def test_generate_report_runs(self):
+        import importlib.util
+        from pathlib import Path
+
+        script = Path(__file__).parent.parent / "scripts" / "generate_report.py"
+        spec = importlib.util.spec_from_file_location("generate_report", script)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        # Running a single cheap experiment through the script API.
+        assert module.main(["table8"]) == 0

@@ -1,0 +1,131 @@
+"""Workload generation and the request queue."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controller import ReadRequest, RequestQueue, WorkloadConfig, generate_workload
+from repro.controller.request import measured_row_hit_rate
+from repro.errors import ConfigurationError, SimulationError
+
+
+class TestWorkloadConfig:
+    def test_defaults_match_paper(self):
+        config = WorkloadConfig()
+        assert config.num_requests == 10_000
+        assert config.arrival_interval == 5
+        assert config.row_hit_rate == 0.80
+        assert config.num_dies == 4 and config.banks_per_die == 8
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_requests": 0},
+            {"arrival_interval": 0},
+            {"row_hit_rate": 1.5},
+            {"same_die_rate": -0.1},
+            {"num_rows": 1},
+            {"locality_window": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(**kwargs)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_workload(WorkloadConfig(num_requests=200))
+        b = generate_workload(WorkloadConfig(num_requests=200))
+        assert [(r.die, r.bank, r.row) for r in a] == [
+            (r.die, r.bank, r.row) for r in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate_workload(WorkloadConfig(num_requests=200, seed=1))
+        b = generate_workload(WorkloadConfig(num_requests=200, seed=2))
+        assert [(r.die, r.bank) for r in a] != [(r.die, r.bank) for r in b]
+
+    def test_arrival_spacing(self):
+        wl = generate_workload(WorkloadConfig(num_requests=10, arrival_interval=5))
+        assert [r.arrival_cycle for r in wl] == [5 * i for i in range(10)]
+
+    def test_targets_in_range(self):
+        wl = generate_workload(WorkloadConfig(num_requests=500))
+        for r in wl:
+            assert 0 <= r.die < 4
+            assert 0 <= r.bank < 8
+            assert 0 <= r.row < 4096
+
+    def test_short_range_hit_rate_near_nominal(self):
+        """Immediate re-touches hit close to the configured 80%."""
+        config = WorkloadConfig(
+            num_requests=20_000, banks_per_die=1, num_dies=1, same_die_rate=1.0
+        )
+        wl = generate_workload(config)
+        assert measured_row_hit_rate(wl) == pytest.approx(0.80, abs=0.02)
+
+    def test_all_dies_covered(self):
+        wl = generate_workload(WorkloadConfig(num_requests=1000))
+        assert {r.die for r in wl} == {0, 1, 2, 3}
+
+    def test_latency_none_until_complete(self):
+        req = ReadRequest(0, 0, 0, 0, arrival_cycle=0)
+        assert req.latency is None
+        req.complete_cycle = 42
+        assert req.latency == 42
+
+
+class TestQueue:
+    def test_fifo_order(self):
+        q = RequestQueue(depth=4)
+        reqs = [ReadRequest(i, 0, 0, 0, i) for i in range(3)]
+        for r in reqs:
+            q.push(r)
+        assert q.in_arrival_order() == reqs
+        assert len(q) == 3
+        assert not q.full
+
+    def test_overflow(self):
+        q = RequestQueue(depth=2)
+        q.push(ReadRequest(0, 0, 0, 0, 0))
+        q.push(ReadRequest(1, 0, 0, 0, 0))
+        assert q.full
+        with pytest.raises(SimulationError):
+            q.push(ReadRequest(2, 0, 0, 0, 0))
+
+    def test_remove(self):
+        q = RequestQueue()
+        r = ReadRequest(0, 0, 0, 0, 0)
+        q.push(r)
+        q.remove(r)
+        assert q.empty
+        with pytest.raises(SimulationError):
+            q.remove(r)
+
+    def test_targets_bank_row(self):
+        q = RequestQueue()
+        q.push(ReadRequest(0, die=1, bank=2, row=3, arrival_cycle=0))
+        assert q.targets_bank_row(1, 2, 3)
+        assert not q.targets_bank_row(1, 2, 4)
+        assert not q.targets_bank_row(0, 2, 3)
+
+    def test_occupancy_stats(self):
+        q = RequestQueue()
+        q.push(ReadRequest(0, 0, 0, 0, 0))
+        q.sample_occupancy(weight=10)
+        q.push(ReadRequest(1, 0, 0, 0, 0))
+        q.sample_occupancy(weight=10)
+        assert q.mean_occupancy == pytest.approx(1.5)
+        assert q.peak_occupancy == 2
+
+    def test_bad_depth(self):
+        with pytest.raises(SimulationError):
+            RequestQueue(depth=0)
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=50, max_value=400))
+    def test_generator_request_count(self, n):
+        wl = generate_workload(WorkloadConfig(num_requests=n))
+        assert len(wl) == n
+        assert [r.req_id for r in wl] == list(range(n))

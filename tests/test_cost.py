@@ -1,0 +1,105 @@
+"""The Table 8 cost model, including the Table 9 cost reproduction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cost import (
+    config_cost,
+    m2_cost,
+    m3_cost,
+    tsv_count_cost,
+    tsv_location_cost,
+)
+from repro.designs import all_benchmarks
+from repro.errors import ConfigurationError
+from repro.pdn import Bonding, BumpLocation, PDNConfig, RDLScope, TSVLocation
+
+
+class TestTerms:
+    def test_table8_endpoints(self):
+        assert m2_cost(0.10) == pytest.approx(0.025)
+        assert m2_cost(0.20) == pytest.approx(0.05)
+        assert m3_cost(0.40) == pytest.approx(0.10)
+        assert tsv_count_cost(15) == pytest.approx(0.078, abs=0.001)
+        assert tsv_count_cost(480) == pytest.approx(0.44, abs=0.005)
+
+    def test_sqrt_law(self):
+        assert tsv_count_cost(400) == pytest.approx(2 * tsv_count_cost(100))
+
+    def test_location_factors(self):
+        tc = tsv_count_cost(100)
+        assert tsv_location_cost(TSVLocation.CENTER, 100) == 0.0
+        assert tsv_location_cost(TSVLocation.EDGE, 100) == pytest.approx(0.5 * tc)
+        assert tsv_location_cost(TSVLocation.DISTRIBUTED, 100) == pytest.approx(tc)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            m2_cost(0.0)
+        with pytest.raises(ConfigurationError):
+            tsv_count_cost(0)
+
+    @given(st.integers(min_value=15, max_value=479))
+    def test_tc_cost_monotone(self, tc):
+        assert tsv_count_cost(tc + 1) > tsv_count_cost(tc)
+
+
+class TestConfigCost:
+    def test_breakdown_total(self):
+        breakdown = config_cost(PDNConfig())
+        assert breakdown.total == pytest.approx(sum(breakdown.terms.values()))
+        assert breakdown.terms["TD"] == 0.0
+        assert breakdown.terms["BD"] == pytest.approx(0.045)
+
+    def test_options_add_cost(self):
+        base = config_cost(PDNConfig()).total
+        for kwargs in (
+            {"bonding": Bonding.F2F},
+            {"rdl": RDLScope.ALL},
+            {"wire_bond": True},
+            {"dedicated_tsv": True},
+        ):
+            assert config_cost(PDNConfig().with_options(**kwargs)).total > base
+
+
+#: The sixteen Table 9 (config, cost) pairs; the model must reproduce all.
+TABLE9_COSTS = [
+    ("ddr3_off", dict(m2_usage=0.10, m3_usage=0.10, tsv_count=15,
+                      tsv_location=TSVLocation.CENTER, bump_location=BumpLocation.CENTER), 0.23),
+    ("ddr3_off", dict(m2_usage=0.20, m3_usage=0.22, tsv_count=24,
+                      bonding=Bonding.F2F), 0.37),
+    ("ddr3_off", dict(m2_usage=0.20, m3_usage=0.40, tsv_count=360,
+                      bonding=Bonding.F2F, wire_bond=True), 0.87),
+    ("ddr3_off", dict(), 0.35),
+    ("ddr3_on", dict(m2_usage=0.10, m3_usage=0.10, tsv_count=15,
+                     tsv_location=TSVLocation.CENTER, bump_location=BumpLocation.CENTER), 0.17),
+    ("ddr3_on", dict(m2_usage=0.20, m3_usage=0.22, tsv_count=21, wire_bond=True), 0.32),
+    ("ddr3_on", dict(m2_usage=0.20, m3_usage=0.40, tsv_count=420,
+                     dedicated_tsv=True, bonding=Bonding.F2F, wire_bond=True), 0.92),
+    ("ddr3_on", dict(dedicated_tsv=True), 0.35),
+    ("wideio", dict(m2_usage=0.10, m3_usage=0.10, tsv_count=160,
+                    tsv_location=TSVLocation.CENTER, bump_location=BumpLocation.CENTER), 0.35),
+    ("wideio", dict(m2_usage=0.20, m3_usage=0.40, tsv_count=160, dedicated_tsv=True,
+                    bonding=Bonding.F2F, rdl=RDLScope.ALL, wire_bond=True,
+                    bump_location=BumpLocation.CENTER), 0.73),
+    ("wideio", dict(tsv_count=160, dedicated_tsv=True, rdl=RDLScope.ALL,
+                    bump_location=BumpLocation.CENTER), 0.62),
+    ("hmc", dict(m2_usage=0.10, m3_usage=0.10, tsv_count=160,
+                 tsv_location=TSVLocation.CENTER, bump_location=BumpLocation.CENTER), 0.35),
+    ("hmc", dict(m2_usage=0.20, m3_usage=0.25, tsv_count=160,
+                 tsv_location=TSVLocation.DISTRIBUTED, dedicated_tsv=True,
+                 wire_bond=True), 0.76),
+    ("hmc", dict(m2_usage=0.20, m3_usage=0.40, tsv_count=480,
+                 tsv_location=TSVLocation.DISTRIBUTED, dedicated_tsv=True,
+                 wire_bond=True), 1.17),
+    ("hmc", dict(tsv_count=384, dedicated_tsv=True), 0.77),
+]
+
+
+@pytest.mark.parametrize("bench_key,kwargs,paper_cost", TABLE9_COSTS)
+def test_table9_cost_reproduction(bench_key, kwargs, paper_cost):
+    """Every Table 9 cost entry reproduces to within 0.02."""
+    bench = all_benchmarks()[bench_key]
+    config = PDNConfig(**kwargs)
+    total = config_cost(config, bench.package_cost).total
+    assert total == pytest.approx(paper_cost, abs=0.02)

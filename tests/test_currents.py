@@ -1,0 +1,106 @@
+"""Branch currents and TSV current crowding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError, SolverError
+from repro.pdn import build_stack
+from repro.power import MemoryState
+from repro.rmesh.currents import BranchCurrentAnalysis, CrowdingReport
+
+
+@pytest.fixture(scope="module")
+def analysis(ddr3_stack, ddr3_floorplan):
+    state = MemoryState.from_string("0-0-0-2", ddr3_floorplan)
+    return BranchCurrentAnalysis(ddr3_stack.solve_state(state).raw)
+
+
+class TestCrowdingReport:
+    def test_uniform_distribution(self):
+        report = CrowdingReport(np.full(10, 0.01))
+        assert report.crowding_factor == pytest.approx(1.0)
+        assert report.gini == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_distribution(self):
+        currents = np.zeros(10)
+        currents[0] = 1.0
+        report = CrowdingReport(currents)
+        assert report.crowding_factor == pytest.approx(10.0)
+        assert report.gini > 0.8
+
+    def test_empty_rejected(self):
+        with pytest.raises(SolverError):
+            CrowdingReport(np.array([]))
+
+    def test_totals(self):
+        report = CrowdingReport(np.array([0.1, 0.3]))
+        assert report.total_a == pytest.approx(0.4)
+        assert report.max_a == pytest.approx(0.3)
+        assert report.mean_a == pytest.approx(0.2)
+
+
+class TestInterfaceCurrents:
+    def test_kcl_total_equals_downstream_power(
+        self, ddr3_stack, analysis, ddr3_floorplan
+    ):
+        """Current crossing interface 3->4 equals the top die's draw."""
+        state = MemoryState.from_string("0-0-0-2", ddr3_floorplan)
+        maps = ddr3_stack.power_maps(state)
+        top_current = maps[ddr3_stack.load_layer_key(3)].total_current
+        report = analysis.interface_crowding("dram3/M3", "dram4/M3")
+        # Net upward current == top die load (signed sum, not magnitudes).
+        links = analysis.link_currents("dram3/M3", "dram4/M3")
+        net = sum(l.current for l in links)
+        assert abs(net) == pytest.approx(top_current, rel=1e-6)
+        assert report.total_a >= abs(net) - 1e-12
+
+    def test_supply_kcl(self, ddr3_stack, analysis, ddr3_floorplan):
+        """Supply entry current equals the whole stack's draw."""
+        state = MemoryState.from_string("0-0-0-2", ddr3_floorplan)
+        total_load = sum(
+            m.total_current for m in ddr3_stack.power_maps(state).values()
+        )
+        report = analysis.supply_crowding()
+        assert report.total_a == pytest.approx(total_load, rel=1e-6)
+
+    def test_unknown_interface(self, analysis):
+        with pytest.raises((SolverError, MeshError)):
+            analysis.interface_crowding("dram1/M3", "nope/M3")
+
+    def test_crowding_follows_load_location(self, ddr3_off_bench, ddr3_floorplan):
+        """Edge TSVs near the active banks carry disproportionate current
+        (the crowding the paper's reference [6] studies)."""
+        state = MemoryState.from_string("0-0-0-2", ddr3_floorplan)
+        stack = build_stack(ddr3_off_bench.stack, ddr3_off_bench.baseline)
+        res = stack.solve_state(state)
+        report = BranchCurrentAnalysis(res.raw).interface_crowding(
+            "dram3/M3", "dram4/M3"
+        )
+        assert report.crowding_factor > 1.5
+
+    def test_idle_stack_interface_quiet(self, ddr3_stack):
+        res = ddr3_stack.solve_state(MemoryState.idle(4))
+        report = BranchCurrentAnalysis(res.raw).interface_crowding(
+            "dram3/M3", "dram4/M3"
+        )
+        # Only the idle die's standby current crosses upward.
+        assert report.total_a < 0.1
+
+
+class TestLateralDensity:
+    def test_shape_and_nonnegative(self, ddr3_stack, analysis):
+        density = analysis.layer_current_density("dram4/M3")
+        grid = ddr3_stack.model.layer_grid("dram4/M3")
+        assert density.shape == (grid.ny, grid.nx)
+        assert np.all(density >= 0.0)
+
+    def test_hotspot_near_active_bank(self, analysis, ddr3_floorplan):
+        (i, j), amps = analysis.worst_lateral_hotspot("dram4/M3")
+        assert amps > 0.0
+        # The active banks sit in the left column: the hotspot's x index
+        # is in the left half of the die.
+        assert i < 9
+
+    def test_unknown_layer(self, analysis):
+        with pytest.raises(SolverError):
+            analysis.layer_current_density("nope")

@@ -1,0 +1,98 @@
+"""Benchmark definitions and their design-space rules."""
+
+import pytest
+
+from repro.designs import all_benchmarks, benchmark
+from repro.errors import ConfigurationError
+from repro.pdn import Bonding, BumpLocation, Mounting, PDNConfig, TSVLocation
+
+
+class TestRegistry:
+    def test_four_benchmarks(self):
+        marks = all_benchmarks()
+        assert set(marks) == {"ddr3_off", "ddr3_on", "wideio", "hmc"}
+
+    def test_lookup(self):
+        assert benchmark("hmc").key == "hmc"
+        with pytest.raises(ConfigurationError):
+            benchmark("nope")
+
+
+class TestMounting:
+    def test_off_chip_standalone(self):
+        b = benchmark("ddr3_off")
+        assert b.stack.mounting is Mounting.OFF_CHIP
+        assert b.stack.logic_floorplan is None
+        assert not b.dedicated_tsv_available
+        assert b.package_cost == pytest.approx(0.057)
+
+    def test_hosted_designs(self):
+        for key in ("ddr3_on", "wideio", "hmc"):
+            b = benchmark(key)
+            assert b.stack.mounting is Mounting.ON_CHIP
+            assert b.stack.logic_floorplan is not None
+            assert b.dedicated_tsv_available
+            assert b.package_cost == 0.0
+
+
+class TestBaselines:
+    def test_table9_baselines(self):
+        base = benchmark("ddr3_off").baseline
+        assert base.tsv_count == 33
+        assert base.tsv_location is TSVLocation.EDGE
+        assert base.bonding is Bonding.F2B
+        assert benchmark("ddr3_on").baseline.dedicated_tsv
+        assert benchmark("wideio").baseline.tsv_count == 160
+        assert benchmark("wideio").baseline.rdl.enabled
+        assert benchmark("hmc").baseline.tsv_count == 384
+
+    def test_baselines_are_valid(self):
+        for b in all_benchmarks().values():
+            b.validate_config(b.baseline)
+
+
+class TestConstraints:
+    def test_wideio_pins_tsv_count(self):
+        b = benchmark("wideio")
+        with pytest.raises(ConfigurationError):
+            b.validate_config(b.baseline.with_options(tsv_count=100))
+
+    def test_wideio_forces_center_bumps(self):
+        b = benchmark("wideio")
+        assert b.stack.forced_bump_location is BumpLocation.CENTER
+        assert (
+            b.stack.effective_bump_location(PDNConfig()) is BumpLocation.CENTER
+        )
+
+    def test_hmc_min_tsv_count(self):
+        b = benchmark("hmc")
+        with pytest.raises(ConfigurationError):
+            b.validate_config(b.baseline.with_options(tsv_count=100))
+
+    def test_distributed_only_for_hmc(self):
+        ddr3 = benchmark("ddr3_off")
+        with pytest.raises(ConfigurationError):
+            ddr3.validate_config(
+                ddr3.baseline.with_options(tsv_location=TSVLocation.DISTRIBUTED)
+            )
+        hmc = benchmark("hmc")
+        hmc.validate_config(
+            hmc.baseline.with_options(tsv_location=TSVLocation.DISTRIBUTED)
+        )
+
+    def test_off_chip_rejects_dedicated(self):
+        b = benchmark("ddr3_off")
+        with pytest.raises(ConfigurationError):
+            b.validate_config(b.baseline.with_options(dedicated_tsv=True))
+
+
+class TestReferenceStates:
+    def test_shapes(self):
+        assert benchmark("ddr3_off").reference_state().counts == (0, 0, 0, 2)
+        assert benchmark("wideio").reference_state().counts == (0, 0, 0, 8)
+        assert benchmark("hmc").reference_state().counts == (8, 8, 8, 8)
+
+    def test_states_fit_floorplans(self):
+        for b in all_benchmarks().values():
+            state = b.reference_state()
+            assert state.total_active <= b.stack.dram_floorplan.num_banks * 4

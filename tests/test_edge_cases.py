@@ -1,0 +1,119 @@
+"""Edge-case stacks and configurations a downstream user could build."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.floorplan import ddr3_die_floorplan, t2_logic_floorplan
+from repro.pdn import Bonding, Mounting, PDNConfig, StackSpec, build_stack
+from repro.power import MemoryState
+from repro.power.model import DDR3_POWER, T2_LOGIC_POWER
+
+
+@pytest.fixture(scope="module")
+def fp():
+    return ddr3_die_floorplan()
+
+
+class TestUnusualStackHeights:
+    def test_single_die_stack(self, fp):
+        spec = StackSpec("one", fp, DDR3_POWER, num_dram_dies=1)
+        stack = build_stack(spec, PDNConfig())
+        res = stack.solve_state(MemoryState(((0, 4),)))
+        assert res.dram_max_mv > 0
+        assert list(res.per_die_mv) == ["dram1"]
+
+    def test_two_die_f2f_single_pair(self, fp):
+        spec = StackSpec("two", fp, DDR3_POWER, num_dram_dies=2)
+        f2b = build_stack(spec, PDNConfig())
+        f2f = build_stack(spec, PDNConfig(bonding=Bonding.F2F))
+        state = MemoryState(((), (0, 4)))
+        # The pair shares PDNs: F2F strictly better for the top die.
+        assert f2f.dram_max_mv(state) < f2b.dram_max_mv(state)
+
+    def test_odd_die_count_f2f(self, fp):
+        """Three dies: one F2F pair + a B2B-attached third die."""
+        spec = StackSpec("three", fp, DDR3_POWER, num_dram_dies=3)
+        stack = build_stack(spec, PDNConfig(bonding=Bonding.F2F))
+        state = MemoryState(((), (), (0, 4)))
+        res = stack.solve_state(state)
+        assert res.dram_max_mv > 0
+        assert len(res.per_die_mv) == 3
+
+    def test_eight_die_stack_gradient(self, fp):
+        spec = StackSpec("eight", fp, DDR3_POWER, num_dram_dies=8)
+        stack = build_stack(spec, PDNConfig())
+        top_state = MemoryState(((),) * 7 + ((0, 4),))
+        res = stack.solve_state(top_state)
+        drops = [res.per_die_mv[f"dram{d}"] for d in range(1, 9)]
+        assert drops == sorted(drops)  # monotone up the chain
+
+    def test_zero_dies_rejected(self, fp):
+        with pytest.raises(ConfigurationError):
+            StackSpec("none", fp, DDR3_POWER, num_dram_dies=0)
+
+
+class TestOnChipVariants:
+    def test_on_chip_two_die_stack(self, fp):
+        spec = StackSpec(
+            "on2",
+            fp,
+            DDR3_POWER,
+            num_dram_dies=2,
+            mounting=Mounting.ON_CHIP,
+            logic_floorplan=t2_logic_floorplan(),
+            logic_power=T2_LOGIC_POWER,
+        )
+        stack = build_stack(spec, PDNConfig())
+        res = stack.solve_state(MemoryState(((), (0,))))
+        assert res.logic_max_mv > 10.0
+        assert res.dram_max_mv > res.per_die_mv["dram1"] * 0.0  # sane
+
+    def test_logic_scale_sweep_monotone(self, onchip_stack, ddr3_floorplan):
+        state = MemoryState.from_string("0-0-0-2", ddr3_floorplan)
+        drops = [
+            onchip_stack.solve_state(state, logic_scale=s).dram_max_mv
+            for s in (0.0, 0.5, 1.0, 1.5)
+        ]
+        assert drops == sorted(drops)
+
+
+class TestExtremeConfigs:
+    def test_all_options_on(self, fp, ddr3_off_bench):
+        """Every IR-reduction option simultaneously: the kitchen sink
+        builds, solves, and beats the baseline by a wide margin."""
+        config = PDNConfig(
+            m2_usage=0.20,
+            m3_usage=0.40,
+            tsv_count=480,
+            bonding=Bonding.F2F,
+            wire_bond=True,
+        )
+        stack = build_stack(ddr3_off_bench.stack, config)
+        state = MemoryState.from_string("0-0-0-2", fp)
+        baseline = build_stack(ddr3_off_bench.stack, ddr3_off_bench.baseline)
+        assert stack.dram_max_mv(state) < 0.5 * baseline.dram_max_mv(state)
+
+    def test_minimum_everything(self, fp, ddr3_off_bench):
+        from repro.pdn import BumpLocation, TSVLocation
+
+        config = PDNConfig(
+            m2_usage=0.10,
+            m3_usage=0.10,
+            tsv_count=15,
+            tsv_location=TSVLocation.CENTER,
+            bump_location=BumpLocation.CENTER,
+        )
+        stack = build_stack(ddr3_off_bench.stack, config)
+        state = MemoryState.from_string("0-0-0-2", fp)
+        baseline = build_stack(ddr3_off_bench.stack, ddr3_off_bench.baseline)
+        assert stack.dram_max_mv(state) > 2.0 * baseline.dram_max_mv(state)
+
+    def test_coarse_pitch_still_solves(self, ddr3_off_bench, fp):
+        stack = build_stack(ddr3_off_bench.stack, ddr3_off_bench.baseline, pitch=1.5)
+        state = MemoryState.from_string("0-0-0-2", fp)
+        assert stack.dram_max_mv(state) > 0
+
+    def test_empty_state_zero_drop_only_standby(self, ddr3_stack):
+        res = ddr3_stack.solve_state(MemoryState.idle(4))
+        # Only standby current flows: small but nonzero drop.
+        assert 0.0 < res.dram_max_mv < 10.0

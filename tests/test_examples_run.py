@@ -1,0 +1,52 @@
+"""The shipped examples stay runnable.
+
+Each fast example is executed as a real subprocess (the way a user runs
+it); the two slow ones (full design-space exploration, policy tuning)
+are exercised through their underlying APIs elsewhere and only
+syntax-checked here.
+"""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+FAST = ["quickstart.py", "custom_stack.py", "supply_window.py"]
+SLOW = ["design_space_exploration.py", "policy_tuning.py"]
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_fast_example_runs(name):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip(), "example produced no output"
+
+
+@pytest.mark.parametrize("name", FAST + SLOW)
+def test_example_compiles(name):
+    py_compile.compile(str(EXAMPLES / name), doraise=True)
+
+
+def test_quickstart_shows_packaging_options():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    out = proc.stdout
+    assert "baseline state 0-0-0-2" in out
+    assert "F2F" in out and "wire bonding" in out
+    # The packaging options all reduce the baseline IR drop.
+    for line in out.splitlines():
+        if "(" in line and "%" in line and "mV" in line:
+            assert "(-" in line

@@ -1,0 +1,87 @@
+"""Extension features: ground-net analysis, heatmaps, LUT serialization."""
+
+import json
+
+import pytest
+
+from repro.controller import IRAwareDistR, IRDropLUT
+from repro.controller.lut import StaticIRDropLUT
+from repro.errors import ConfigurationError
+from repro.pdn.ground import GroundNetAnalysis, vss_config
+from repro.power import MemoryState
+
+
+class TestGroundNet:
+    def test_symmetric_vss_mirrors_vdd(self, ddr3_off_bench, ddr3_floorplan):
+        analysis = GroundNetAnalysis(ddr3_off_bench.stack, ddr3_off_bench.baseline)
+        state = MemoryState.from_string("0-0-0-2", ddr3_floorplan)
+        result = analysis.solve_state(state)
+        # A perfectly symmetric VSS network bounces exactly as VDD droops.
+        assert result.vss_bounce_mv == pytest.approx(result.vdd_droop_mv)
+        assert result.total_noise_mv == pytest.approx(2 * result.vdd_droop_mv)
+
+    def test_starved_vss_bounces_more(self, ddr3_off_bench, ddr3_floorplan):
+        analysis = GroundNetAnalysis(
+            ddr3_off_bench.stack, ddr3_off_bench.baseline, vss_usage_ratio=0.6
+        )
+        state = MemoryState.from_string("0-0-0-2", ddr3_floorplan)
+        result = analysis.solve_state(state)
+        assert result.vss_bounce_mv > result.vdd_droop_mv
+
+    def test_vss_config_clamps_to_table8(self):
+        from repro.pdn import PDNConfig
+
+        cfg = vss_config(PDNConfig(m3_usage=0.40), usage_ratio=2.0)
+        assert cfg.m3_usage == pytest.approx(0.40)  # clamped at the cap
+        with pytest.raises(ConfigurationError):
+            vss_config(PDNConfig(), usage_ratio=0.0)
+
+
+class TestHeatmap:
+    def test_shape_and_header(self, ddr3_stack, ddr3_floorplan):
+        state = MemoryState.from_string("0-0-0-2", ddr3_floorplan)
+        res = ddr3_stack.solve_state(state)
+        art = res.raw.ascii_heatmap("dram4/M1")
+        lines = art.split("\n")
+        grid = ddr3_stack.model.layer_grid("dram4/M1")
+        assert len(lines) == grid.ny + 1
+        assert all(len(line) == grid.nx for line in lines[1:])
+        assert "mV" in lines[0]
+        # The hottest character appears somewhere.
+        assert "@" in art
+
+    def test_idle_die_renders(self, ddr3_stack):
+        res = ddr3_stack.solve_state(MemoryState.idle(4))
+        art = res.raw.ascii_heatmap("dram1/M1")
+        assert art  # zero-drop field must not crash
+
+
+class TestLUTSerialization:
+    def test_roundtrip(self, ddr3_lut):
+        restored = IRDropLUT.from_json(ddr3_lut.to_json())
+        assert restored.size == ddr3_lut.size
+        for counts, value in ddr3_lut.as_dict().items():
+            assert restored.lookup(counts) == pytest.approx(value, abs=1e-3)
+        assert restored.min_active_ir() == pytest.approx(
+            ddr3_lut.min_active_ir(), abs=1e-3
+        )
+
+    def test_json_is_valid_and_labeled(self, ddr3_lut):
+        payload = json.loads(ddr3_lut.to_json())
+        assert payload["num_dies"] == 4
+        assert "M2=10%" in payload["design"]
+        assert len(payload["table"]) == 81
+
+    def test_static_lut_drives_a_policy(self, ddr3_lut):
+        """A shipped table is enough to run the IR-aware policy."""
+        static = IRDropLUT.from_json(ddr3_lut.to_json())
+        policy = IRAwareDistR(static, 24.0)
+        assert not policy.may_activate(3, 0, (0, 0, 0, 1))
+        assert policy.may_activate(0, 0, (0, 0, 0, 0))
+
+    def test_static_lut_validation(self):
+        with pytest.raises(ConfigurationError):
+            StaticIRDropLUT({}, num_dies=4, max_banks_per_die=2)
+        static = StaticIRDropLUT({(1, 0): 10.0}, num_dies=2, max_banks_per_die=2)
+        with pytest.raises(ConfigurationError):
+            static.lookup((9, 9))

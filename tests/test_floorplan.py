@@ -1,0 +1,173 @@
+"""Floorplans: block validation, die generators, edge-bank ranking."""
+
+import pytest
+
+from repro.errors import FloorplanError
+from repro.floorplan import (
+    Block,
+    BlockType,
+    DieFloorplan,
+    ddr3_die_floorplan,
+    hmc_dram_die_floorplan,
+    hmc_logic_floorplan,
+    t2_logic_floorplan,
+    wideio_die_floorplan,
+)
+from repro.floorplan.blocks import grid_rects
+from repro.geometry import Rect
+
+
+class TestBlock:
+    def test_bank_requires_id(self):
+        with pytest.raises(FloorplanError):
+            Block(Rect(0, 0, 1, 1), BlockType.BANK, "b")
+
+    def test_non_bank_rejects_id(self):
+        with pytest.raises(FloorplanError):
+            Block(Rect(0, 0, 1, 1), BlockType.IO, "io", bank_id=0)
+
+
+class TestDieFloorplanValidation:
+    def test_block_outside_outline(self):
+        with pytest.raises(FloorplanError):
+            DieFloorplan(
+                "bad",
+                Rect(0, 0, 1, 1),
+                [Block(Rect(0, 0, 2, 1), BlockType.IO, "io")],
+            )
+
+    def test_bank_ids_must_be_dense(self):
+        with pytest.raises(FloorplanError):
+            DieFloorplan(
+                "bad",
+                Rect(0, 0, 4, 4),
+                [Block(Rect(0, 0, 1, 1), BlockType.BANK, "b", bank_id=1)],
+            )
+
+    def test_overlapping_banks_rejected(self):
+        with pytest.raises(FloorplanError):
+            DieFloorplan(
+                "bad",
+                Rect(0, 0, 4, 4),
+                [
+                    Block(Rect(0, 0, 2, 2), BlockType.BANK, "b0", bank_id=0),
+                    Block(Rect(1, 1, 3, 3), BlockType.BANK, "b1", bank_id=1),
+                ],
+            )
+
+
+class TestDDR3Die:
+    def test_table1_geometry(self):
+        fp = ddr3_die_floorplan()
+        assert fp.outline.width == pytest.approx(6.8)
+        assert fp.outline.height == pytest.approx(6.7)
+        assert fp.num_banks == 8
+        assert fp.num_channels == 1
+
+    def test_bank_layout_two_rows_of_four(self):
+        fp = ddr3_die_floorplan()
+        upper = [fp.bank_rect(i).center.y for i in range(4)]
+        lower = [fp.bank_rect(i).center.y for i in range(4, 8)]
+        assert min(upper) > max(lower)
+        # Columns align between rows (position classes a..d).
+        for col in range(4):
+            assert fp.bank_rect(col).center.x == pytest.approx(
+                fp.bank_rect(col + 4).center.x
+            )
+
+    def test_edge_banks_prefer_left_column(self):
+        fp = ddr3_die_floorplan()
+        assert fp.edge_banks(2) == [0, 4]
+
+    def test_edge_banks_too_many(self):
+        with pytest.raises(FloorplanError):
+            ddr3_die_floorplan().edge_banks(9)
+
+    def test_spine_present(self):
+        fp = ddr3_die_floorplan()
+        spines = fp.blocks_of_type(BlockType.IO)
+        assert len(spines) == 1
+        spine = spines[0].rect
+        assert spine.center.y == pytest.approx(fp.outline.center.y)
+
+
+class TestWideIODie:
+    def test_table1_geometry(self):
+        fp = wideio_die_floorplan()
+        assert fp.outline.width == pytest.approx(7.2)
+        assert fp.num_banks == 16
+        assert fp.num_channels == 4
+
+    def test_channels_are_quadrants(self):
+        fp = wideio_die_floorplan()
+        for chan in range(4):
+            banks = fp.banks_in_channel(chan)
+            assert len(banks) == 4
+        # Channel 0 is the lower-left quadrant.
+        for b in fp.banks_in_channel(0):
+            assert b.rect.center.x < fp.outline.center.x
+            assert b.rect.center.y < fp.outline.center.y
+
+    def test_center_pads(self):
+        fp = wideio_die_floorplan()
+        io = fp.blocks_of_type(BlockType.IO)
+        assert io, "JEDEC Wide I/O requires center pads"
+        # The pad cross covers the die center.
+        assert any(b.rect.contains(fp.outline.center) for b in io)
+
+
+class TestHMCDie:
+    def test_table1_geometry(self):
+        fp = hmc_dram_die_floorplan()
+        assert fp.outline.width == pytest.approx(7.2)
+        assert fp.outline.height == pytest.approx(6.4)
+        assert fp.num_banks == 32
+        assert fp.num_channels == 16
+
+    def test_two_banks_per_vault(self):
+        fp = hmc_dram_die_floorplan()
+        for vault in range(16):
+            assert len(fp.banks_in_channel(vault)) == 2
+
+    def test_distributed_tsv_regions(self):
+        fp = hmc_dram_die_floorplan()
+        assert len(fp.blocks_of_type(BlockType.TSV_REGION)) == 16
+
+
+class TestLogicDies:
+    def test_t2(self):
+        fp = t2_logic_floorplan()
+        assert fp.outline.width == pytest.approx(9.0)
+        assert fp.outline.height == pytest.approx(8.0)
+        assert len(fp.blocks_of_type(BlockType.CORE)) == 8
+        assert len(fp.blocks_of_type(BlockType.CACHE)) == 1
+        assert fp.num_banks == 0
+
+    def test_hmc_logic(self):
+        fp = hmc_logic_floorplan()
+        assert fp.outline.width == pytest.approx(8.8)
+        assert len(fp.blocks_of_type(BlockType.VAULT_CTRL)) == 16
+        assert len(fp.blocks_of_type(BlockType.SERDES)) == 2
+
+
+class TestGridRects:
+    def test_dimensions(self):
+        cells = grid_rects(Rect(0, 0, 4, 2), cols=4, rows=2, gap_x=0.0, gap_y=0.0)
+        assert len(cells) == 2 and len(cells[0]) == 4
+        assert cells[0][0].area == pytest.approx(1.0)
+
+    def test_gaps_respected(self):
+        cells = grid_rects(Rect(0, 0, 4, 2), cols=2, rows=1, gap_x=1.0)
+        assert cells[0][0].x1 == pytest.approx(1.5)
+        assert cells[0][1].x0 == pytest.approx(2.5)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(FloorplanError):
+            grid_rects(Rect(0, 0, 1, 1), cols=10, rows=1, gap_x=0.2)
+
+
+def test_summary_counts():
+    fp = ddr3_die_floorplan()
+    summary = fp.summary()
+    assert summary["bank"] == 8
+    assert summary["io"] == 1

@@ -1,0 +1,85 @@
+"""Paper-anchor regression tests.
+
+Pins the calibrated model to the paper's published aggregate numbers so
+that future changes to the technology constants or the stack assembler
+cannot silently drift the reproduction.  Tolerances reflect the achieved
+calibration quality (see EXPERIMENTS.md); they are deliberately tighter
+than the bench assertions.
+"""
+
+import pytest
+
+from repro.pdn import build_stack
+from repro.power import MemoryState
+
+
+@pytest.fixture(scope="module")
+def s0002(ddr3_floorplan):
+    return MemoryState.from_string("0-0-0-2", ddr3_floorplan)
+
+
+class TestSection31Anchors:
+    def test_off_chip_baseline(self, ddr3_stack, s0002):
+        """Paper: 30.03 mV."""
+        assert ddr3_stack.dram_max_mv(s0002) == pytest.approx(30.03, rel=0.08)
+
+    def test_on_chip_coupled(self, onchip_stack, s0002):
+        """Paper: 64.41 mV DRAM, 50.05 mV logic."""
+        res = onchip_stack.solve_state(s0002)
+        assert res.dram_max_mv == pytest.approx(64.41, rel=0.08)
+        assert res.logic_max_mv == pytest.approx(50.05, rel=0.10)
+
+    def test_on_chip_dedicated(self, ddr3_on_bench, s0002):
+        """Paper: 31.18 mV."""
+        stack = build_stack(ddr3_on_bench.stack, ddr3_on_bench.baseline)
+        assert stack.dram_max_mv(s0002) == pytest.approx(31.18, rel=0.08)
+
+
+class TestPackagingAnchors:
+    def test_f2f(self, ddr3_f2f_stack, s0002):
+        """Paper: 17.18 mV (-42.8% vs F2B)."""
+        assert ddr3_f2f_stack.dram_max_mv(s0002) == pytest.approx(17.18, rel=0.08)
+
+    def test_off_chip_wirebond_delta(self, ddr3_off_bench, ddr3_stack, s0002):
+        """Paper: -9.76%."""
+        wb = build_stack(
+            ddr3_off_bench.stack,
+            ddr3_off_bench.baseline.with_options(wire_bond=True),
+        )
+        delta = wb.dram_max_mv(s0002) / ddr3_stack.dram_max_mv(s0002) - 1.0
+        assert delta == pytest.approx(-0.0976, abs=0.04)
+
+
+class TestTable5Anchors:
+    @pytest.mark.parametrize(
+        "state_text,f2b_mv,f2f_mv",
+        [
+            ("0-0-0-2", 30.03, 17.18),
+            ("2-0-0-0", 26.26, 14.61),
+            ("0-0-2-2", 28.14, 27.21),
+            ("2-2-2-2", 24.82, 23.57),
+        ],
+    )
+    def test_state_ir(
+        self, ddr3_stack, ddr3_f2f_stack, ddr3_floorplan, state_text, f2b_mv, f2f_mv
+    ):
+        state = MemoryState.from_string(state_text, ddr3_floorplan)
+        assert ddr3_stack.dram_max_mv(state) == pytest.approx(f2b_mv, rel=0.13)
+        assert ddr3_f2f_stack.dram_max_mv(state) == pytest.approx(f2f_mv, rel=0.13)
+
+
+class TestBenchmarkBaselineAnchors:
+    @pytest.mark.parametrize(
+        "fixture_name,paper_mv,tol",
+        [
+            ("ddr3_off_bench", 30.03, 0.08),
+            ("ddr3_on_bench", 31.18, 0.08),
+            ("wideio_bench", 13.62, 0.25),
+            ("hmc_bench", 47.90, 0.08),
+        ],
+    )
+    def test_table9_baseline(self, request, fixture_name, paper_mv, tol):
+        bench = request.getfixturevalue(fixture_name)
+        stack = build_stack(bench.stack, bench.baseline)
+        ir = stack.dram_max_mv(bench.reference_state())
+        assert ir == pytest.approx(paper_mv, rel=tol)

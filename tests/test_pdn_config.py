@@ -1,0 +1,78 @@
+"""PDNConfig validation (Table 8 ranges and constraints)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pdn import Bonding, BumpLocation, PDNConfig, RDLScope, TSVLocation
+
+
+class TestRanges:
+    def test_defaults_are_the_baseline(self):
+        config = PDNConfig()
+        assert config.m2_usage == 0.10
+        assert config.m3_usage == 0.20
+        assert config.tsv_count == 33
+        assert config.tsv_location is TSVLocation.EDGE
+        assert config.bonding is Bonding.F2B
+        assert not config.rdl.enabled
+        assert not config.wire_bond
+
+    @pytest.mark.parametrize("m2", [0.05, 0.25])
+    def test_m2_range(self, m2):
+        with pytest.raises(ConfigurationError):
+            PDNConfig(m2_usage=m2)
+
+    @pytest.mark.parametrize("m3", [0.05, 0.45])
+    def test_m3_range(self, m3):
+        with pytest.raises(ConfigurationError):
+            PDNConfig(m3_usage=m3)
+
+    @pytest.mark.parametrize("tc", [14, 481])
+    def test_tc_range(self, tc):
+        with pytest.raises(ConfigurationError):
+            PDNConfig(tsv_count=tc)
+
+    def test_boundary_values_legal(self):
+        PDNConfig(m2_usage=0.10, m3_usage=0.40, tsv_count=15)
+        PDNConfig(m2_usage=0.20, m3_usage=0.10, tsv_count=480)
+
+
+class TestCrossConstraints:
+    def test_edge_tsv_center_bumps_need_rdl(self):
+        with pytest.raises(ConfigurationError):
+            PDNConfig(
+                tsv_location=TSVLocation.EDGE,
+                bump_location=BumpLocation.CENTER,
+            )
+
+    def test_edge_tsv_center_bumps_with_rdl_ok(self):
+        PDNConfig(
+            tsv_location=TSVLocation.EDGE,
+            bump_location=BumpLocation.CENTER,
+            rdl=RDLScope.ALL,
+        )
+
+
+class TestHelpers:
+    def test_with_options(self):
+        base = PDNConfig()
+        changed = base.with_options(bonding=Bonding.F2F, wire_bond=True)
+        assert changed.bonding is Bonding.F2F
+        assert changed.wire_bond
+        assert base.bonding is Bonding.F2B  # original untouched
+
+    def test_with_options_validates(self):
+        with pytest.raises(ConfigurationError):
+            PDNConfig().with_options(tsv_count=5)
+
+    def test_label(self):
+        label = PDNConfig().label()
+        assert "M2=10%" in label
+        assert "TC=33" in label
+        assert "TL=E" in label
+        assert "BD=F2B" in label
+
+    def test_rdl_scope_enabled(self):
+        assert not RDLScope.NONE.enabled
+        assert RDLScope.BOTTOM.enabled
+        assert RDLScope.ALL.enabled

@@ -1,0 +1,110 @@
+"""Calibrated power model: Table 5 anchors and structural properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.floorplan import BlockType, ddr3_die_floorplan, t2_logic_floorplan
+from repro.power import MemoryState, die_power_mw
+from repro.power.model import (
+    DDR3_POWER,
+    DramPowerSpec,
+    HMC_POWER,
+    LogicPowerSpec,
+    T2_LOGIC_POWER,
+    WIDEIO_POWER,
+    channel_bank_power_mw,
+    stack_power_mw,
+)
+
+
+@pytest.fixture(scope="module")
+def fp():
+    return ddr3_die_floorplan()
+
+
+class TestTable5Anchors:
+    """The model reproduces the Table 5 aggregate powers it was fit to."""
+
+    def test_active_die_100pct(self, fp):
+        state = MemoryState.from_string("0-0-0-2", fp)
+        assert die_power_mw(DDR3_POWER, fp, state, 3) == pytest.approx(220.5)
+
+    def test_active_die_50pct(self, fp):
+        state = MemoryState.from_string("0-0-2-2", fp)
+        assert die_power_mw(DDR3_POWER, fp, state, 2) == pytest.approx(175.5)
+        assert stack_power_mw(DDR3_POWER, fp, state) == pytest.approx(405.0)
+
+    def test_idle_die(self, fp):
+        state = MemoryState.from_string("0-0-0-2", fp)
+        assert die_power_mw(DDR3_POWER, fp, state, 0) == pytest.approx(
+            DDR3_POWER.standby_mw
+        )
+
+    def test_balanced_state_total(self, fp):
+        # 2-2-2-2 @ 25%: per-die 27 + 23.5 + 2*(40 + 0.25*45) = 153.
+        state = MemoryState.from_string("2-2-2-2", fp)
+        assert die_power_mw(DDR3_POWER, fp, state, 0) == pytest.approx(153.0)
+
+
+class TestStructure:
+    def test_power_monotone_in_banks(self, fp):
+        powers = [
+            die_power_mw(
+                DDR3_POWER, fp, MemoryState.from_counts((n, 0, 0, 0), fp), 0
+            )
+            for n in range(3)
+        ]
+        assert powers[0] < powers[1] < powers[2]
+
+    def test_power_monotone_in_activity(self, fp):
+        # Same bank count, more active dies -> lower per-die power.
+        solo = die_power_mw(DDR3_POWER, fp, MemoryState.from_counts((2, 0, 0, 0), fp), 0)
+        shared = die_power_mw(DDR3_POWER, fp, MemoryState.from_counts((2, 2, 0, 0), fp), 0)
+        assert shared < solo
+
+    def test_unknown_bank_rejected(self, fp):
+        state = MemoryState(((99,), (), (), ()))
+        with pytest.raises(ConfigurationError):
+            die_power_mw(DDR3_POWER, fp, state, 0)
+
+    def test_channel_bank_power_validation(self):
+        with pytest.raises(ConfigurationError):
+            channel_bank_power_mw(DDR3_POWER, -1, 0.5)
+        with pytest.raises(ConfigurationError):
+            channel_bank_power_mw(DDR3_POWER, 1, 1.5)
+        assert channel_bank_power_mw(DDR3_POWER, 0, 1.0) == 0.0
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            DramPowerSpec(-1.0, 0, 0, 0, 0)
+        with pytest.raises(ConfigurationError):
+            DramPowerSpec(1.0, 0, 0, 0, 0, decoder_fraction=1.5)
+
+    @given(
+        st.integers(min_value=0, max_value=2),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_bank_power_monotone(self, banks, act):
+        base = channel_bank_power_mw(DDR3_POWER, banks, act)
+        assert channel_bank_power_mw(DDR3_POWER, banks + 1, act) >= base
+        if banks:
+            assert channel_bank_power_mw(DDR3_POWER, banks, min(act + 0.1, 1.0)) >= base
+
+
+class TestBenchmarkSpecs:
+    def test_relative_magnitudes(self):
+        """HMC is the hot part, Wide I/O the cool one (Table 1 traits)."""
+        assert HMC_POWER.standby_mw > DDR3_POWER.standby_mw > WIDEIO_POWER.standby_mw
+
+    def test_logic_totals(self):
+        t2 = T2_LOGIC_POWER.total_mw(t2_logic_floorplan())
+        assert 5000 < t2 < 12000  # a few watts, 28nm host
+
+
+class TestLogicSpec:
+    def test_total_counts_blocks(self):
+        fp = t2_logic_floorplan()
+        spec = LogicPowerSpec(per_block_mw={BlockType.CORE: 100.0}, background_mw=50.0)
+        assert spec.total_mw(fp) == pytest.approx(50.0 + 8 * 100.0)

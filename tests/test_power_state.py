@@ -1,0 +1,109 @@
+"""Memory state representation and I/O activity semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.floorplan import ddr3_die_floorplan, wideio_die_floorplan
+from repro.power import MemoryState
+
+
+@pytest.fixture(scope="module")
+def fp():
+    return ddr3_die_floorplan()
+
+
+class TestConstruction:
+    def test_idle(self):
+        state = MemoryState.idle(4)
+        assert state.counts == (0, 0, 0, 0)
+        assert state.total_active == 0
+        assert state.active_dies == ()
+
+    def test_duplicate_banks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryState(((0, 0), (), (), ()))
+
+    def test_from_counts_edge(self, fp):
+        state = MemoryState.from_counts((0, 0, 0, 2), fp)
+        assert state.counts == (0, 0, 0, 2)
+        assert state.active[3] == (0, 4)  # left edge column, worst case
+
+    def test_from_counts_spread(self, fp):
+        state = MemoryState.from_counts((4, 0, 0, 0), fp, placement="spread")
+        assert state.active[0] == (0, 2, 4, 6)
+
+    def test_from_counts_too_many(self, fp):
+        with pytest.raises(ConfigurationError):
+            MemoryState.from_counts((9, 0, 0, 0), fp)
+
+    def test_bad_placement(self, fp):
+        with pytest.raises(ConfigurationError):
+            MemoryState.from_counts((1, 0, 0, 0), fp, placement="weird")
+
+
+class TestParsing:
+    def test_plain_counts(self, fp):
+        state = MemoryState.from_string("0-0-0-2", fp)
+        assert state.counts == (0, 0, 0, 2)
+        assert state.label() == "0-0-0-2"
+
+    def test_position_classes(self, fp):
+        state = MemoryState.from_string("0-0-2b-2a", fp)
+        assert state.active[2] == (1, 5)  # class b
+        assert state.active[3] == (0, 4)  # class a
+
+    def test_single_bank_of_class(self, fp):
+        state = MemoryState.from_string("1d-0-0-0", fp)
+        assert state.active[0] == (3,)
+
+    def test_bad_token(self, fp):
+        with pytest.raises(ConfigurationError):
+            MemoryState.from_string("0-x-0-2", fp)
+
+    def test_class_overflow(self, fp):
+        with pytest.raises(ConfigurationError):
+            MemoryState.from_string("3a-0-0-0", fp)
+
+
+class TestIOActivity:
+    def test_single_die_full_activity(self, fp):
+        state = MemoryState.from_string("0-0-0-2", fp)
+        assert state.io_activity(3) == pytest.approx(1.0)
+        assert state.io_activity(0) == 0.0
+
+    def test_shared_across_dies(self, fp):
+        state = MemoryState.from_string("2-2-2-2", fp)
+        for die in range(4):
+            assert state.io_activity(die) == pytest.approx(0.25)
+
+    def test_two_dies(self, fp):
+        state = MemoryState.from_string("0-0-2-2", fp)
+        assert state.io_activity(2) == pytest.approx(0.5)
+
+    def test_channel_activity_wideio(self):
+        wfp = wideio_die_floorplan()
+        # Channel 0 banks are 0-3.  Active on two dies -> 50% each.
+        state = MemoryState(((0,), (1,), (), ()))
+        assert state.channel_io_activity(0, 0, wfp) == pytest.approx(0.5)
+        assert state.channel_io_activity(2, 0, wfp) == 0.0
+        # A different channel is unaffected.
+        assert state.channel_io_activity(0, 1, wfp) == 0.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=2), min_size=4, max_size=4))
+    def test_activity_sums_to_one_when_active(self, counts):
+        fp = ddr3_die_floorplan()
+        state = MemoryState.from_counts(counts, fp)
+        total = sum(state.io_activity(d) for d in range(4))
+        if state.total_active:
+            assert total == pytest.approx(1.0)
+        else:
+            assert total == 0.0
+
+
+def test_with_die(fp):
+    state = MemoryState.from_string("0-0-0-2", fp)
+    new = state.with_die(0, (1,))
+    assert new.counts == (1, 0, 0, 2)
+    assert state.counts == (0, 0, 0, 2)  # original untouched

@@ -1,0 +1,145 @@
+"""Power map rasterization: conservation and placement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.floorplan import ddr3_die_floorplan, hmc_dram_die_floorplan, t2_logic_floorplan
+from repro.geometry import Grid2D, Rect
+from repro.power import MemoryState, PowerMap, dram_power_map, logic_power_map
+from repro.power.model import DDR3_POWER, HMC_POWER, T2_LOGIC_POWER, die_power_mw
+
+VDD = 1.5
+
+
+@pytest.fixture(scope="module")
+def fp():
+    return ddr3_die_floorplan()
+
+
+@pytest.fixture(scope="module")
+def grid(fp):
+    return Grid2D.from_pitch(fp.outline, 0.4)
+
+
+class TestPowerMap:
+    def test_zeros(self, grid):
+        pmap = PowerMap.zeros(grid)
+        assert pmap.total_current == 0.0
+
+    def test_block_power_conserved(self, grid):
+        pmap = PowerMap.zeros(grid)
+        pmap.add_block_power(Rect(1.0, 1.0, 3.0, 2.0), 150.0, VDD)
+        assert pmap.total_power_mw(VDD) == pytest.approx(150.0)
+
+    def test_negative_power_rejected(self, grid):
+        pmap = PowerMap.zeros(grid)
+        with pytest.raises(ConfigurationError):
+            pmap.add_block_power(Rect(0, 0, 1, 1), -1.0, VDD)
+
+    def test_shape_mismatch(self, grid):
+        with pytest.raises(ConfigurationError):
+            PowerMap(grid, np.zeros((3, 3)))
+
+    def test_current_located_at_block(self, grid, fp):
+        pmap = PowerMap.zeros(grid)
+        rect = fp.bank_rect(0)
+        pmap.add_block_power(rect, 100.0, VDD)
+        # All current inside (or at the boundary cells of) the bank rect.
+        for j in range(grid.ny):
+            for i in range(grid.nx):
+                if pmap.current[j, i] > 0:
+                    cell = grid.cell_rect(i, j)
+                    assert cell.overlap_area(rect) > 0
+
+
+class TestDramPowerMap:
+    def test_total_matches_die_power(self, fp, grid):
+        for text in ("0-0-0-2", "2-2-2-2", "0-0-2b-2a"):
+            state = MemoryState.from_string(text, fp)
+            for die in range(4):
+                pmap = dram_power_map(fp, DDR3_POWER, state, die, grid, VDD)
+                assert pmap.total_power_mw(VDD) == pytest.approx(
+                    die_power_mw(DDR3_POWER, fp, state, die), rel=1e-9
+                )
+
+    def test_idle_die_uniform(self, fp, grid):
+        state = MemoryState.idle(4)
+        pmap = dram_power_map(fp, DDR3_POWER, state, 0, grid, VDD)
+        assert pmap.total_power_mw(VDD) == pytest.approx(DDR3_POWER.standby_mw)
+        # Uniform spread: all interior cells equal.
+        interior = pmap.current[2:-2, 2:-2]
+        assert np.allclose(interior, interior[0, 0])
+
+    def test_active_bank_hotspot(self, fp, grid):
+        state = MemoryState(((0,), (), (), ()))
+        pmap = dram_power_map(fp, DDR3_POWER, state, 0, grid, VDD)
+        bank = fp.bank_rect(0)
+        i, j = grid.nearest_node(bank.center)
+        # The bank region carries far more current than the far corner.
+        assert pmap.current[j, i] > 5 * pmap.current[-1, -1]
+
+    def test_mirrored_flips_hotspot(self, fp, grid):
+        state = MemoryState(((0,), (), (), ()))
+        normal = dram_power_map(fp, DDR3_POWER, state, 0, grid, VDD)
+        mirrored = dram_power_map(fp, DDR3_POWER, state, 0, grid, VDD, mirrored=True)
+        assert mirrored.total_current == pytest.approx(normal.total_current)
+        # Mirrored map equals the left-right flipped normal map.
+        assert np.allclose(mirrored.current, normal.current[:, ::-1], atol=1e-12)
+
+    def test_decoder_power_in_spine(self, fp, grid):
+        """The decoder fraction loads the spine segment over the bank."""
+        state = MemoryState(((0,), (), (), ()))
+        pmap = dram_power_map(fp, DDR3_POWER, state, 0, grid, VDD)
+        spine_y = fp.outline.center.y
+        bank_x = fp.bank_rect(0).center.x
+        i, j = grid.nearest_node(type(fp.outline.center)(bank_x, spine_y))
+        far_i, far_j = grid.nearest_node(type(fp.outline.center)(6.5, spine_y))
+        assert pmap.current[j, i] > pmap.current[far_j, far_i]
+
+    def test_hmc_uses_periphery(self):
+        fp = hmc_dram_die_floorplan()
+        grid = Grid2D.from_pitch(fp.outline, 0.4)
+        state = MemoryState(((0, 1), (), (), ()))
+        pmap = dram_power_map(fp, HMC_POWER, state, 0, grid, VDD)
+        expected = die_power_mw(HMC_POWER, fp, state, 0)
+        assert pmap.total_power_mw(VDD) == pytest.approx(expected, rel=1e-9)
+
+
+class TestLogicPowerMap:
+    def test_total(self):
+        fp = t2_logic_floorplan()
+        grid = Grid2D.from_pitch(fp.outline, 0.4)
+        pmap = logic_power_map(fp, T2_LOGIC_POWER, grid, VDD)
+        assert pmap.total_power_mw(VDD) == pytest.approx(
+            T2_LOGIC_POWER.total_mw(fp), rel=1e-9
+        )
+
+    def test_scale(self):
+        fp = t2_logic_floorplan()
+        grid = Grid2D.from_pitch(fp.outline, 0.4)
+        half = logic_power_map(fp, T2_LOGIC_POWER, grid, VDD, scale=0.5)
+        full = logic_power_map(fp, T2_LOGIC_POWER, grid, VDD, scale=1.0)
+        assert half.total_current == pytest.approx(full.total_current / 2)
+
+    def test_negative_scale(self):
+        fp = t2_logic_floorplan()
+        grid = Grid2D.from_pitch(fp.outline, 0.4)
+        with pytest.raises(ConfigurationError):
+            logic_power_map(fp, T2_LOGIC_POWER, grid, VDD, scale=-1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=2), min_size=4, max_size=4))
+def test_conservation_property(counts):
+    """Rasterized power equals analytic die power for any state."""
+    fp = ddr3_die_floorplan()
+    grid = Grid2D.from_pitch(fp.outline, 0.4)
+    state = MemoryState.from_counts(counts, fp)
+    for die in range(4):
+        pmap = dram_power_map(fp, DDR3_POWER, state, die, grid, VDD)
+        assert pmap.total_power_mw(VDD) == pytest.approx(
+            die_power_mw(DDR3_POWER, fp, state, die), rel=1e-9
+        )

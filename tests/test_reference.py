@@ -1,0 +1,43 @@
+"""Golden reference solver and the Figure 4 validation path."""
+
+import pytest
+
+from repro.power import MemoryState
+from repro.power.model import DDR3_POWER
+from repro.pdn.stackup import build_single_die_stack
+from repro.rmesh.reference import ValidationReport, validate_against_reference
+
+
+class TestValidationReport:
+    def test_metrics(self):
+        report = ValidationReport(
+            coarse_ir_mv=32.2,
+            reference_ir_mv=32.6,
+            coarse_time_s=1.0,
+            reference_time_s=10.0,
+            coarse_resistors=1000,
+            reference_resistors=50000,
+        )
+        assert report.error_percent == pytest.approx(1.227, abs=0.01)
+        assert report.speedup == pytest.approx(10.0)
+
+    def test_zero_time_speedup(self):
+        report = ValidationReport(1, 1, 0.0, 1.0, 1, 1)
+        assert report.speedup == float("inf")
+
+
+class TestValidation:
+    def test_coarse_agrees_with_reference(self, ddr3_floorplan):
+        """The production R-Mesh is within a few percent of the fine
+        solve, at a fraction of the resistor count (the Figure 4 story)."""
+        state = MemoryState(((0, 1),))
+
+        def build(pitch):
+            return build_single_die_stack(ddr3_floorplan, DDR3_POWER, pitch=pitch)
+
+        report = validate_against_reference(
+            build, state, coarse_pitch=0.4, reference_pitch=0.2
+        )
+        assert report.error_percent < 10.0
+        assert report.reference_resistors > 3 * report.coarse_resistors
+        assert report.coarse_ir_mv > 0 and report.reference_ir_mv > 0

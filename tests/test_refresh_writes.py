@@ -1,0 +1,166 @@
+"""Controller extensions: periodic refresh and mixed read/write streams."""
+
+import pytest
+
+from repro.controller import (
+    IRAwareDistR,
+    MemoryControllerSim,
+    SimConfig,
+    StandardJEDEC,
+    WorkloadConfig,
+    generate_workload,
+)
+from repro.dram import Bank, ChannelBus, TimingParams
+from repro.errors import ConfigurationError, SimulationError
+
+
+@pytest.fixture(scope="module")
+def timing():
+    return TimingParams.ddr3_1600()
+
+
+class TestWriteDevicePath:
+    def test_bank_write_latency(self, timing):
+        bank = Bank(0, 0, timing)
+        bank.activate(0, 3)
+        end = bank.write(timing.tRCD, 3)
+        assert end == timing.tRCD + timing.tCWL + timing.burst_cycles
+        assert bank.writes_served == 1
+
+    def test_write_wrong_row_rejected(self, timing):
+        bank = Bank(0, 0, timing)
+        bank.activate(0, 3)
+        with pytest.raises(SimulationError):
+            bank.write(timing.tRCD, 4)
+
+    def test_write_holds_row_for_twr(self, timing):
+        bank = Bank(0, 0, timing)
+        bank.activate(0, 3)
+        t = max(timing.tRCD, timing.tRAS)
+        bank.sync(t)
+        bank.write(t, 3)
+        assert not bank.can_precharge(t + timing.tWR - 1)
+        assert bank.can_precharge(t + timing.tWR)
+
+    def test_channel_write_occupancy(self, timing):
+        chan = ChannelBus(0, timing)
+        end = chan.issue_write(0)
+        assert end == timing.tCWL + timing.burst_cycles
+        # The next read must clear the write burst on the shared bus.
+        assert not chan.can_issue_read(end - timing.tCL - 1)
+        assert chan.can_issue_read(end - timing.tCL)
+
+
+class TestMixedWorkload:
+    def test_write_fraction_applied(self):
+        wl = generate_workload(
+            WorkloadConfig(num_requests=4000, write_fraction=0.3)
+        )
+        frac = sum(r.is_write for r in wl) / len(wl)
+        assert frac == pytest.approx(0.3, abs=0.03)
+
+    def test_write_fraction_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(write_fraction=1.5)
+
+    def test_mixed_stream_completes(self, timing):
+        cfg = SimConfig(timing=timing)
+        wl = generate_workload(
+            WorkloadConfig(num_requests=1200, write_fraction=0.3)
+        )
+        res = MemoryControllerSim(cfg, StandardJEDEC(timing), wl).run()
+        assert res.finished
+        for req in wl:
+            assert req.complete_cycle is not None
+            latency = timing.tCWL if req.is_write else timing.tCL
+            assert req.complete_cycle == req.issue_cycle + latency + timing.burst_cycles
+
+    def test_ir_aware_policy_handles_writes(self, timing, ddr3_lut):
+        cfg = SimConfig(timing=timing)
+        wl = generate_workload(
+            WorkloadConfig(num_requests=800, write_fraction=0.5)
+        )
+        res = MemoryControllerSim(
+            cfg, IRAwareDistR(ddr3_lut, 24.0), wl, report_lut=ddr3_lut
+        ).run()
+        assert res.finished
+        assert res.max_ir_mv <= 24.0
+
+
+class TestRefresh:
+    def test_refreshes_issued_at_trefi_rate(self, timing):
+        cfg = SimConfig(timing=timing, refresh_enabled=True)
+        wl = generate_workload(WorkloadConfig(num_requests=3000))
+        res = MemoryControllerSim(cfg, StandardJEDEC(timing), wl).run()
+        assert res.finished
+        expected = res.cycles * cfg.num_dies / timing.tREFI
+        assert res.refreshes == pytest.approx(expected, abs=cfg.num_dies + 1)
+
+    def test_refresh_costs_runtime(self, timing):
+        wl_a = generate_workload(WorkloadConfig(num_requests=3000))
+        wl_b = generate_workload(WorkloadConfig(num_requests=3000))
+        base = MemoryControllerSim(
+            SimConfig(timing=timing), StandardJEDEC(timing), wl_a
+        ).run()
+        refreshed = MemoryControllerSim(
+            SimConfig(timing=timing, refresh_enabled=True),
+            StandardJEDEC(timing),
+            wl_b,
+        ).run()
+        assert refreshed.runtime_us > base.runtime_us
+        # ...but the overhead is bounded (tRFC/tREFI ~ 3% per die stagger).
+        assert refreshed.runtime_us < 1.6 * base.runtime_us
+
+    def test_refresh_off_by_default(self, timing):
+        cfg = SimConfig(timing=timing)
+        wl = generate_workload(WorkloadConfig(num_requests=500))
+        res = MemoryControllerSim(cfg, StandardJEDEC(timing), wl).run()
+        assert res.refreshes == 0
+
+    def test_refresh_with_ir_aware_policy(self, timing, ddr3_lut):
+        cfg = SimConfig(timing=timing, refresh_enabled=True)
+        wl = generate_workload(WorkloadConfig(num_requests=1500))
+        res = MemoryControllerSim(
+            cfg, IRAwareDistR(ddr3_lut, 24.0), wl, report_lut=ddr3_lut
+        ).run()
+        assert res.finished
+        assert res.refreshes > 0
+        assert res.max_ir_mv <= 24.0
+
+
+class TestMultiChannel:
+    def test_per_channel_cap_enforced(self, timing):
+        """With 2 channels and a per-channel cap of 1, no more than one
+        bank per (die, channel) is ever active."""
+        cfg = SimConfig(
+            timing=timing,
+            num_channels=2,
+            max_banks_per_die=4,
+            max_banks_per_channel=1,
+        )
+        wl = generate_workload(WorkloadConfig(num_requests=600))
+        sim = MemoryControllerSim(cfg, StandardJEDEC(timing), wl)
+        res = sim.run()
+        assert res.finished
+        # The die-level counts can reach 2 (one per channel) but the
+        # interleave cap of 4 is never the binding limit.
+        assert max(max(c) for c in res.state_occupancy) <= 2
+
+    def test_channel_striping(self, timing):
+        cfg = SimConfig(timing=timing, num_channels=2)
+        assert cfg.channel_of(0) == 0
+        assert cfg.channel_of(3) == 0
+        assert cfg.channel_of(4) == 1
+        assert cfg.channel_of(7) == 1
+
+    def test_multichannel_throughput_scales(self, timing):
+        """Two data buses move the saturating workload faster than one."""
+        wl_a = generate_workload(WorkloadConfig(num_requests=1500, arrival_interval=1))
+        wl_b = generate_workload(WorkloadConfig(num_requests=1500, arrival_interval=1))
+        one = MemoryControllerSim(
+            SimConfig(timing=timing, num_channels=1), StandardJEDEC(timing), wl_a
+        ).run()
+        two = MemoryControllerSim(
+            SimConfig(timing=timing, num_channels=2), StandardJEDEC(timing), wl_b
+        ).run()
+        assert two.runtime_us < one.runtime_us

@@ -1,0 +1,126 @@
+"""Regression surrogate: exactness, combo coverage, design-space sampling."""
+
+import numpy as np
+import pytest
+
+from repro.designs import off_chip_ddr3, wide_io
+from repro.errors import RegressionError
+from repro.pdn import Bonding, PDNConfig, TSVLocation
+from repro.regress import DesignSample, IRDropSurrogate, sample_design_space
+from repro.regress.model import (
+    _basis,
+    config_from_parts,
+    continuous_sample_grid,
+    discrete_key,
+    valid_discrete_combos,
+)
+
+
+class TestCombos:
+    def test_ddr3_off_combo_count(self):
+        bench = off_chip_ddr3()
+        combos = valid_discrete_combos(bench)
+        # TL {C,E} x TD {N} x BD {F2B,F2F} x RL {N,Y} x WB {N,Y} = 16.
+        assert len(combos) == 16
+        assert all(not td for (_, td, _, _, _) in combos)
+
+    def test_wideio_combos_respect_rdl_rule(self):
+        bench = wide_io()
+        for tl, td, bd, rl, wb in valid_discrete_combos(bench):
+            if tl is TSVLocation.EDGE:
+                assert rl, "edge TSVs with center bumps require the RDL"
+
+    def test_config_from_parts_roundtrip(self):
+        bench = off_chip_ddr3()
+        for key in valid_discrete_combos(bench)[:4]:
+            config = config_from_parts(bench, key, 0.15, 0.25, 40)
+            assert discrete_key(config) == key
+
+
+class TestSampling:
+    def test_grid_shape(self):
+        grid = continuous_sample_grid(off_chip_ddr3(), 2, 2, 2)
+        assert len(grid) == 8
+        for m2, m3, tc in grid:
+            assert 0.10 <= m2 <= 0.20
+            assert 0.10 <= m3 <= 0.40
+            assert 15 <= tc <= 480
+
+    def test_pinned_tc(self):
+        grid = continuous_sample_grid(wide_io(), 2, 2, 3)
+        assert {tc for (_, _, tc) in grid} == {160}
+
+    def test_sample_design_space_restricted_combo(self):
+        bench = off_chip_ddr3()
+        combos = valid_discrete_combos(bench)[:1]
+        samples = sample_design_space(
+            bench, m2_points=2, m3_points=2, tc_points=2, combos=combos
+        )
+        assert len(samples) == 8
+        assert all(s.ir_mv > 0 for s in samples)
+
+
+class TestFit:
+    def _synthetic_samples(self, coeffs, key_config):
+        samples = []
+        for m2 in (0.10, 0.15, 0.20):
+            for m3 in (0.10, 0.25, 0.40):
+                for tc in (15, 60, 240):
+                    config = key_config.with_options(
+                        m2_usage=m2, m3_usage=m3, tsv_count=tc
+                    )
+                    ir = float(_basis(m2, m3, tc) @ coeffs)
+                    samples.append(DesignSample(config=config, ir_mv=ir))
+        return samples
+
+    def test_exact_recovery_on_basis_data(self):
+        """Data generated from the basis is fit exactly (R^2 = 1)."""
+        coeffs = np.array([5.0, 0.4, 0.9, 30.0, 10.0, 2.0])
+        samples = self._synthetic_samples(coeffs, PDNConfig())
+        surrogate = IRDropSurrogate()
+        report = surrogate.fit(samples)
+        assert report.rmse_mv == pytest.approx(0.0, abs=1e-9)
+        assert report.r_squared == pytest.approx(1.0)
+        config = PDNConfig(m2_usage=0.13, m3_usage=0.33, tsv_count=100)
+        expected = float(_basis(0.13, 0.33, 100) @ coeffs)
+        assert surrogate.predict(config) == pytest.approx(expected)
+
+    def test_separate_fits_per_combo(self):
+        a = self._synthetic_samples(
+            np.array([5.0, 0.4, 0.9, 30.0, 10.0, 2.0]), PDNConfig()
+        )
+        b = self._synthetic_samples(
+            np.array([1.0, 0.1, 0.2, 5.0, 1.0, 0.5]),
+            PDNConfig(bonding=Bonding.F2F),
+        )
+        surrogate = IRDropSurrogate()
+        report = surrogate.fit(a + b)
+        assert report.num_combos == 2
+        assert report.rmse_mv == pytest.approx(0.0, abs=1e-9)
+        f2b = surrogate.predict(PDNConfig(m2_usage=0.12, m3_usage=0.2, tsv_count=50))
+        f2f = surrogate.predict(
+            PDNConfig(m2_usage=0.12, m3_usage=0.2, tsv_count=50, bonding=Bonding.F2F)
+        )
+        assert f2b != pytest.approx(f2f)
+
+    def test_unknown_combo_rejected(self):
+        surrogate = IRDropSurrogate()
+        surrogate.fit(self._synthetic_samples(np.ones(6), PDNConfig()))
+        with pytest.raises(RegressionError):
+            surrogate.predict(PDNConfig(wire_bond=True))
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(RegressionError):
+            IRDropSurrogate().fit([])
+
+    def test_fit_on_real_solves_is_accurate(self):
+        """On actual R-Mesh data one combo fits to high R^2."""
+        bench = off_chip_ddr3()
+        combos = valid_discrete_combos(bench)[:1]
+        samples = sample_design_space(bench, combos=combos)
+        surrogate = IRDropSurrogate()
+        report = surrogate.fit(samples)
+        assert report.r_squared > 0.97
+        # Interpolation sanity: mid-space prediction between neighbors.
+        config = config_from_parts(bench, combos[0], 0.15, 0.25, 60)
+        assert 5.0 < surrogate.predict(config) < 80.0

@@ -1,0 +1,67 @@
+"""Markdown report rendering."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.base import ExperimentResult, Row
+from repro.reporting import (
+    archived_tables_to_markdown,
+    result_to_markdown,
+    results_to_markdown,
+)
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        experiment_id="demo",
+        title="Demo table",
+        rows=[
+            Row("case a", paper={"ir_mv": 30.0}, model={"ir_mv": 28.9}),
+            Row("case b", model={"ir_mv": 17.0, "cost": 0.35}),
+        ],
+        notes=["a note"],
+    )
+
+
+class TestMarkdown:
+    def test_section_structure(self, result):
+        text = result_to_markdown(result)
+        assert text.startswith("## demo — Demo table")
+        assert "| case | ir_mv | cost |" in text
+        assert "30.00 -> 28.90 (-3.7%)" in text
+        assert "*a note*" in text
+
+    def test_model_only_cells(self, result):
+        text = result_to_markdown(result)
+        assert "| case b | 17.00 | 0.35 |" in text
+
+    def test_inf_and_nan_render(self):
+        res = ExperimentResult(
+            "x", "t", [Row("r", model={"v": float("inf"), "w": float("nan")})]
+        )
+        text = result_to_markdown(res)
+        assert "inf" in text and "--" in text
+
+    def test_full_report(self, result):
+        text = results_to_markdown([result, result], title="Report")
+        assert text.startswith("# Report")
+        assert text.count("## demo") == 2
+
+
+class TestArchived:
+    def test_bundles_txt_files(self, tmp_path):
+        (tmp_path / "table1.txt").write_text("== table1 ==\nrow\n")
+        (tmp_path / "fig4.txt").write_text("== fig4 ==\n")
+        text = archived_tables_to_markdown(tmp_path)
+        assert "## fig4" in text and "## table1" in text
+        assert text.index("## fig4") < text.index("## table1")  # sorted
+        assert "```" in text
+
+    def test_real_results_dir_if_present(self):
+        results_dir = Path(__file__).parent.parent / "benchmarks" / "results"
+        if not results_dir.exists():
+            pytest.skip("no archived results yet")
+        text = archived_tables_to_markdown(results_dir)
+        assert "table6" in text

@@ -1,0 +1,99 @@
+"""LayerMesh construction and edge enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError
+from repro.geometry import Grid2D, Rect
+from repro.rmesh import LayerMesh
+from repro.tech import MetalLayer, RouteDirection
+
+
+@pytest.fixture
+def grid():
+    return Grid2D(Rect(0, 0, 2, 1), nx=4, ny=2)
+
+
+class TestConstruction:
+    def test_from_layer_conductances(self, grid):
+        layer = MetalLayer("M3", 0.2, RouteDirection.HORIZONTAL)
+        mesh = LayerMesh.from_layer(grid, layer, usage=0.5)
+        # rho_eff = 0.4; gx = (1/0.4) * (dy/dx) = 2.5 * 1 = 2.5
+        assert mesh.gx[0, 0] == pytest.approx(2.5)
+        # y direction carries the 0.15 anisotropy factor.
+        assert mesh.gy[0, 0] == pytest.approx(2.5 * 0.15)
+
+    def test_vertical_layer_anisotropy(self, grid):
+        layer = MetalLayer("M2", 0.2, RouteDirection.VERTICAL)
+        mesh = LayerMesh.from_layer(grid, layer, usage=0.5)
+        assert mesh.gx[0, 0] < mesh.gy[0, 0]
+
+    def test_shape_validation(self, grid):
+        with pytest.raises(MeshError):
+            LayerMesh(grid, np.zeros((2, 2)), np.zeros((1, 4)))
+
+    def test_negative_conductance_rejected(self, grid):
+        gx = np.full((2, 3), -1.0)
+        gy = np.zeros((1, 4))
+        with pytest.raises(MeshError):
+            LayerMesh(grid, gx, gy)
+
+    def test_resistor_count(self, grid):
+        layer = MetalLayer("M", 0.1, RouteDirection.BOTH)
+        mesh = LayerMesh.from_layer(grid, layer, 0.5)
+        # 2 rows x 3 x-edges + 1 row x 4 y-edges.
+        assert mesh.num_resistors == 10
+        assert mesh.num_nodes == 8
+
+
+class TestPGRing:
+    def test_boosts_boundary_rows(self, grid):
+        layer = MetalLayer("M", 0.1, RouteDirection.BOTH)
+        mesh = LayerMesh.from_layer(grid, layer, 0.5)
+        base_gx = mesh.gx[0, 1]
+        base_gy = mesh.gy[0, 1]
+        mesh.add_pg_ring(2.0)
+        # This 2-row grid has only boundary rows: every gx edge boosted.
+        assert np.allclose(mesh.gx, 2.0 * base_gx)
+        # gy: boundary columns boosted, middle columns untouched.
+        assert mesh.gy[0, 0] == pytest.approx(2.0 * base_gy)
+        assert mesh.gy[0, -1] == pytest.approx(2.0 * base_gy)
+        assert mesh.gy[0, 1] == pytest.approx(base_gy)
+
+    def test_ring_on_larger_grid(self):
+        grid = Grid2D(Rect(0, 0, 4, 4), nx=5, ny=5)
+        layer = MetalLayer("M", 0.1, RouteDirection.BOTH)
+        mesh = LayerMesh.from_layer(grid, layer, 0.5)
+        base_gx = mesh.gx[2, 2]
+        mesh.add_pg_ring(3.0)
+        assert mesh.gx[0, 2] == pytest.approx(3.0 * base_gx)
+        assert mesh.gx[-1, 2] == pytest.approx(3.0 * base_gx)
+        assert mesh.gx[2, 2] == pytest.approx(base_gx)  # interior untouched
+        assert mesh.gy[2, 0] == pytest.approx(3.0 * mesh.gy[2, 2])
+
+    def test_boost_validation(self, grid):
+        layer = MetalLayer("M", 0.1, RouteDirection.BOTH)
+        mesh = LayerMesh.from_layer(grid, layer, 0.5)
+        with pytest.raises(MeshError):
+            mesh.add_pg_ring(0.5)
+
+
+class TestEdges:
+    def test_iter_matches_arrays(self, grid):
+        layer = MetalLayer("M", 0.1, RouteDirection.BOTH)
+        mesh = LayerMesh.from_layer(grid, layer, 0.5)
+        from_iter = sorted(mesh.iter_edges())
+        a, b, g = mesh.edge_arrays()
+        from_arrays = sorted(zip(a.tolist(), b.tolist(), g.tolist()))
+        assert len(from_iter) == len(from_arrays)
+        for (a1, b1, g1), (a2, b2, g2) in zip(from_iter, from_arrays):
+            assert (a1, b1) == (a2, b2)
+            assert g1 == pytest.approx(g2)
+
+    def test_edges_connect_neighbors_only(self, grid):
+        layer = MetalLayer("M", 0.1, RouteDirection.BOTH)
+        mesh = LayerMesh.from_layer(grid, layer, 0.5)
+        for a, b, _ in mesh.iter_edges():
+            ia, ja = a % grid.nx, a // grid.nx
+            ib, jb = b % grid.nx, b // grid.nx
+            assert abs(ia - ib) + abs(ja - jb) == 1

@@ -1,0 +1,237 @@
+"""Stack assembly: structure, physical trends, option effects.
+
+These are the physics-level integration tests: every paper *trend* the
+model must reproduce is asserted as an inequality (never as an absolute
+number, which belongs to the benchmark harness).
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pdn import (
+    BumpLocation,
+    Mounting,
+    RDLScope,
+    StackSpec,
+    TSVLocation,
+    build_stack,
+)
+from repro.pdn.stackup import build_single_die_stack
+from repro.power import MemoryState
+from repro.power.model import DDR3_POWER
+
+
+@pytest.fixture(scope="module")
+def state_top(ddr3_floorplan):
+    return MemoryState.from_string("0-0-0-2", ddr3_floorplan)
+
+
+@pytest.fixture(scope="module")
+def state_bottom(ddr3_floorplan):
+    return MemoryState.from_string("2-0-0-0", ddr3_floorplan)
+
+
+class TestStructure:
+    def test_die_names(self, ddr3_stack):
+        assert ddr3_stack.dram_die_names == ["dram1", "dram2", "dram3", "dram4"]
+        assert ddr3_stack.load_layer_key(0) == "dram1/M1"
+        assert ddr3_stack.logic_load_key is None
+
+    def test_layers_per_die(self, ddr3_stack):
+        for die in ddr3_stack.dram_die_names:
+            assert ddr3_stack.model.die_layer_keys(die) == [
+                f"{die}/M1",
+                f"{die}/M2",
+                f"{die}/M3",
+            ]
+
+    def test_logic_present_on_chip(self, onchip_stack):
+        assert onchip_stack.logic_load_key == "logic/ML1"
+        assert "logic" in onchip_stack.model.dies()
+
+    def test_rdl_layers_added(self, ddr3_off_bench):
+        stack = build_stack(
+            ddr3_off_bench.stack,
+            ddr3_off_bench.baseline.with_options(rdl=RDLScope.ALL),
+        )
+        keys = stack.model.layer_keys
+        assert "dram1/RDL" in keys
+        assert "dram4/RDL" in keys
+
+    def test_on_chip_requires_logic(self, ddr3_floorplan):
+        with pytest.raises(ConfigurationError):
+            StackSpec(
+                "bad", ddr3_floorplan, DDR3_POWER, 4, Mounting.ON_CHIP
+            )
+
+    def test_state_die_count_checked(self, ddr3_stack, ddr3_floorplan):
+        bad = MemoryState.from_counts((1, 1), ddr3_floorplan)
+        with pytest.raises(ConfigurationError):
+            ddr3_stack.solve_state(bad)
+
+
+class TestVerticalGradient:
+    def test_top_die_worse_than_bottom(self, ddr3_stack, state_top, state_bottom):
+        """Same load higher in the stack -> more TSV hops -> more drop."""
+        assert ddr3_stack.dram_max_mv(state_top) > ddr3_stack.dram_max_mv(state_bottom)
+
+    def test_per_die_drop_increases_up_the_stack(self, ddr3_stack, state_top):
+        res = ddr3_stack.solve_state(state_top)
+        mv = [res.per_die_mv[f"dram{d}"] for d in range(1, 5)]
+        assert mv[0] < mv[1] < mv[2] < mv[3]
+
+
+class TestDesignKnobTrends:
+    def test_more_metal_less_drop(self, ddr3_off_bench, ddr3_stack, state_top):
+        strong = build_stack(
+            ddr3_off_bench.stack,
+            ddr3_off_bench.baseline.with_options(m2_usage=0.20, m3_usage=0.40),
+        )
+        assert strong.dram_max_mv(state_top) < ddr3_stack.dram_max_mv(state_top)
+
+    def test_more_tsvs_less_drop(self, ddr3_off_bench, state_top):
+        few = build_stack(
+            ddr3_off_bench.stack, ddr3_off_bench.baseline.with_options(tsv_count=15)
+        )
+        many = build_stack(
+            ddr3_off_bench.stack, ddr3_off_bench.baseline.with_options(tsv_count=240)
+        )
+        assert many.dram_max_mv(state_top) < few.dram_max_mv(state_top)
+
+    def test_center_tsv_worse_than_edge(self, ddr3_off_bench, ddr3_stack, state_top):
+        center = build_stack(
+            ddr3_off_bench.stack,
+            ddr3_off_bench.baseline.with_options(
+                tsv_location=TSVLocation.CENTER,
+                bump_location=BumpLocation.CENTER,
+            ),
+        )
+        assert center.dram_max_mv(state_top) > ddr3_stack.dram_max_mv(state_top)
+
+    def test_rdl_helps_center_bumps(self, ddr3_off_bench, state_top):
+        """Table 2: (c) edge+center+RDL beats (b) center+center."""
+        b = build_stack(
+            ddr3_off_bench.stack,
+            ddr3_off_bench.baseline.with_options(
+                tsv_location=TSVLocation.CENTER,
+                bump_location=BumpLocation.CENTER,
+            ),
+        )
+        c = build_stack(
+            ddr3_off_bench.stack,
+            ddr3_off_bench.baseline.with_options(
+                bump_location=BumpLocation.CENTER, rdl=RDLScope.ALL
+            ),
+        )
+        assert c.dram_max_mv(state_top) < b.dram_max_mv(state_top)
+
+    def test_rdl_worse_than_direct_edge(self, ddr3_off_bench, ddr3_stack, state_top):
+        """Table 2: (c) loses to (a) because of RDL series resistance."""
+        c = build_stack(
+            ddr3_off_bench.stack,
+            ddr3_off_bench.baseline.with_options(
+                bump_location=BumpLocation.CENTER, rdl=RDLScope.ALL
+            ),
+        )
+        assert c.dram_max_mv(state_top) > ddr3_stack.dram_max_mv(state_top)
+
+    def test_misalignment_hurts(self, ddr3_off_bench, state_top):
+        aligned = build_stack(
+            ddr3_off_bench.stack,
+            ddr3_off_bench.baseline.with_options(
+                tsv_location=TSVLocation.DISTRIBUTED, tsv_aligned=True
+            ),
+        )
+        misaligned = build_stack(
+            ddr3_off_bench.stack,
+            ddr3_off_bench.baseline.with_options(
+                tsv_location=TSVLocation.DISTRIBUTED, tsv_aligned=False
+            ),
+        )
+        assert misaligned.dram_max_mv(state_top) > aligned.dram_max_mv(state_top)
+
+
+class TestPackagingTrends:
+    def test_f2f_beats_f2b_without_overlap(
+        self, ddr3_stack, ddr3_f2f_stack, state_top
+    ):
+        assert ddr3_f2f_stack.dram_max_mv(state_top) < ddr3_stack.dram_max_mv(
+            state_top
+        )
+
+    def test_f2f_benefit_collapses_on_overlap(
+        self, ddr3_stack, ddr3_f2f_stack, ddr3_floorplan
+    ):
+        """Table 4: intra-pair overlapping kills PDN sharing."""
+        overlap = MemoryState.from_string("0-0-2a-2a", ddr3_floorplan)
+        separated = MemoryState.from_string("0-2a-0-2a", ddr3_floorplan)
+        gain_overlap = 1 - ddr3_f2f_stack.dram_max_mv(overlap) / ddr3_stack.dram_max_mv(overlap)
+        gain_separated = 1 - ddr3_f2f_stack.dram_max_mv(separated) / ddr3_stack.dram_max_mv(separated)
+        assert gain_separated > 3 * gain_overlap
+
+    def test_f2f_separation_monotone(self, ddr3_f2f_stack, ddr3_floorplan):
+        """More separation between pair active regions -> lower F2F IR."""
+        near = ddr3_f2f_stack.dram_max_mv(
+            MemoryState.from_string("0-0-2b-2a", ddr3_floorplan)
+        )
+        far = ddr3_f2f_stack.dram_max_mv(
+            MemoryState.from_string("0-0-2d-2a", ddr3_floorplan)
+        )
+        assert far < near
+
+    def test_wirebond_helps(self, ddr3_off_bench, ddr3_stack, state_top):
+        wb = build_stack(
+            ddr3_off_bench.stack,
+            ddr3_off_bench.baseline.with_options(wire_bond=True),
+        )
+        assert wb.dram_max_mv(state_top) < ddr3_stack.dram_max_mv(state_top)
+
+
+class TestMountingTrends:
+    def test_coupling_raises_dram_drop(self, ddr3_stack, onchip_stack, state_top):
+        """Section 3.1: mounting on a live logic die roughly doubles IR."""
+        off = ddr3_stack.dram_max_mv(state_top)
+        on = onchip_stack.dram_max_mv(state_top)
+        assert on > 1.5 * off
+
+    def test_dedicated_tsvs_decouple(self, ddr3_on_bench, onchip_stack, state_top):
+        ded = build_stack(ddr3_on_bench.stack, ddr3_on_bench.baseline)
+        assert ded.dram_max_mv(state_top) < 0.6 * onchip_stack.dram_max_mv(state_top)
+
+    def test_logic_noise_independent_of_dram(self, onchip_stack, ddr3_floorplan):
+        idle = onchip_stack.solve_state(MemoryState.idle(4))
+        assert idle.logic_max_mv > 30.0  # the host is the noise source
+
+    def test_logic_scale_zero_removes_coupling(self, onchip_stack, state_top):
+        quiet = onchip_stack.solve_state(state_top, logic_scale=0.0)
+        loud = onchip_stack.solve_state(state_top, logic_scale=1.0)
+        assert quiet.dram_max_mv < loud.dram_max_mv
+
+    def test_wideio_edge_center_needs_rdl(self, wideio_bench):
+        with pytest.raises(ConfigurationError):
+            build_stack(
+                wideio_bench.stack,
+                wideio_bench.baseline.with_options(rdl=RDLScope.NONE),
+            )
+
+
+class TestSingleDie:
+    def test_two_banks_worse_than_one(self, ddr3_floorplan):
+        stack = build_single_die_stack(ddr3_floorplan, DDR3_POWER)
+        one = stack.dram_max_mv(MemoryState(((0,),)))
+        two = stack.dram_max_mv(MemoryState(((0, 1),)))
+        assert two > one
+
+    def test_power_reported(self, ddr3_floorplan):
+        stack = build_single_die_stack(ddr3_floorplan, DDR3_POWER)
+        res = stack.solve_state(MemoryState(((0, 1),)))
+        assert res.total_power_mw == pytest.approx(220.5)
+
+
+class TestResolutionConvergence:
+    def test_finer_mesh_close_to_coarse(self, ddr3_off_bench, state_top):
+        """The production pitch is within ~12% of a 2x finer solve."""
+        coarse = build_stack(ddr3_off_bench.stack, ddr3_off_bench.baseline, pitch=0.4)
+        fine = build_stack(ddr3_off_bench.stack, ddr3_off_bench.baseline, pitch=0.2)
+        a, b = coarse.dram_max_mv(state_top), fine.dram_max_mv(state_top)
+        assert abs(a - b) / b < 0.12

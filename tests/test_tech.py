@@ -1,0 +1,111 @@
+"""Technology layer: metals, vertical elements, calibration constants."""
+
+import pytest
+
+from repro.tech import (
+    DEFAULT_TECH,
+    C4Tech,
+    F2FViaTech,
+    MetalLayer,
+    MetalStack,
+    RDLTech,
+    RouteDirection,
+    TSVTech,
+    WireBondTech,
+    dram_metal_stack,
+    logic_metal_stack,
+)
+
+
+class TestMetalLayer:
+    def test_effective_sheet_res(self):
+        layer = MetalLayer("M3", 0.27, RouteDirection.HORIZONTAL)
+        assert layer.effective_sheet_res(0.20) == pytest.approx(1.35)
+        assert layer.effective_sheet_res(1.0) == pytest.approx(0.27)
+
+    def test_usage_validation(self):
+        layer = MetalLayer("M3", 0.27, RouteDirection.HORIZONTAL)
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                layer.effective_sheet_res(bad)
+
+    def test_negative_sheet_res(self):
+        with pytest.raises(ValueError):
+            MetalLayer("bad", -1.0, RouteDirection.BOTH)
+
+    def test_direction_weights(self):
+        assert RouteDirection.HORIZONTAL.direction_weights() == (1.0, 0.15)
+        assert RouteDirection.VERTICAL.direction_weights() == (0.15, 1.0)
+        assert RouteDirection.BOTH.direction_weights() == (1.0, 1.0)
+
+
+class TestMetalStack:
+    def test_dram_stack_structure(self):
+        stack = dram_metal_stack()
+        assert stack.names == ["M1", "M2", "M3"]
+        assert stack.top.name == "M3"
+        assert stack.bottom.name == "M1"
+        assert not stack.bottom.power_capable  # M1 is signal-only
+        assert stack.layer_index("M2") == 1
+
+    def test_logic_stack_structure(self):
+        stack = logic_metal_stack()
+        assert stack.names == ["ML1", "ML2", "MTOP"]
+
+    def test_duplicate_names_rejected(self):
+        layer = MetalLayer("M1", 0.1, RouteDirection.BOTH)
+        with pytest.raises(ValueError):
+            MetalStack(layers=(layer, layer))
+
+    def test_missing_layer(self):
+        with pytest.raises(KeyError):
+            dram_metal_stack().layer_index("M9")
+
+
+class TestVerticalElements:
+    def test_tsv_series(self):
+        tsv = TSVTech(resistance=0.1)
+        assert tsv.conductance == pytest.approx(10.0)
+        assert tsv.series(2) == pytest.approx(0.2)  # B2B = two in series
+        with pytest.raises(ValueError):
+            tsv.series(0)
+
+    def test_tsv_validation(self):
+        with pytest.raises(ValueError):
+            TSVTech(resistance=0.0)
+        with pytest.raises(ValueError):
+            TSVTech(resistance=0.1, keepout=-1.0)
+
+    def test_c4_detour(self):
+        c4 = C4Tech(resistance=0.01, pitch=0.2, detour_res_per_mm=0.5)
+        assert c4.detour_resistance(0.1) == pytest.approx(0.05)
+        assert c4.detour_resistance(0.0) == 0.0
+        with pytest.raises(ValueError):
+            c4.detour_resistance(-0.1)
+
+    def test_f2f_area_conductance(self):
+        f2f = F2FViaTech(via_resistance=0.01, density=64.0)
+        assert f2f.conductance_per_mm2 == pytest.approx(6400.0)
+
+    def test_rdl_as_layer(self):
+        rdl = RDLTech(sheet_res=0.18)
+        layer = rdl.as_layer()
+        assert layer.name == "RDL"
+        assert layer.direction is RouteDirection.BOTH  # non-manhattan
+
+    def test_wirebond(self):
+        wb = WireBondTech(group_resistance=0.32, groups_per_edge=4)
+        assert wb.group_conductance == pytest.approx(1.0 / 0.32)
+        with pytest.raises(ValueError):
+            WireBondTech(group_resistance=0.1, groups_per_edge=0)
+
+
+class TestDefaults:
+    def test_default_tech_sane(self):
+        t = DEFAULT_TECH
+        assert t.vdd == pytest.approx(1.5)
+        assert t.mesh_pitch > t.reference_pitch  # reference is finer
+        assert t.dedicated_tsv.resistance < t.tsv.resistance  # via-last wins
+        assert t.dedicated_tsv.via_last
+        # The logic via stack is far weaker than the DRAM's short stack.
+        assert t.via_density_logic < t.via_density_global

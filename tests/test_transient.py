@@ -1,0 +1,107 @@
+"""Transient RC extension: settling, decap behaviour, schedules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SolverError
+from repro.power import MemoryState
+from repro.rmesh.transient import DecapConfig, TransientSolver
+
+
+@pytest.fixture(scope="module")
+def states(ddr3_floorplan):
+    return {
+        "idle": MemoryState.idle(4),
+        "active": MemoryState.from_string("0-0-0-2", ddr3_floorplan),
+    }
+
+
+@pytest.fixture(scope="module")
+def solver(ddr3_stack):
+    return TransientSolver(ddr3_stack, DecapConfig(), dt_ns=1.0)
+
+
+class TestConfig:
+    def test_validation(self, ddr3_stack):
+        with pytest.raises(ConfigurationError):
+            DecapConfig(die_nf_per_mm2=-1.0)
+        with pytest.raises(ConfigurationError):
+            TransientSolver(ddr3_stack, dt_ns=0.0)
+
+    def test_empty_schedule_rejected(self, solver):
+        with pytest.raises(ConfigurationError):
+            solver.simulate([])
+
+    def test_nonpositive_duration_rejected(self, solver, states):
+        with pytest.raises(ConfigurationError):
+            solver.simulate([(states["active"], 0.0)])
+
+
+class TestStepResponse:
+    def test_settles_to_dc(self, solver, ddr3_stack, states):
+        """The RC step response converges to the DC solve."""
+        dc = ddr3_stack.dram_max_mv(states["active"])
+        res = solver.step_response(states["active"], duration_ns=400.0)
+        assert res.final_mv == pytest.approx(dc, rel=0.02)
+        # RC networks approach monotonically: no overshoot beyond DC.
+        assert res.peak_mv <= dc * 1.02
+
+    def test_monotone_rise(self, solver, states):
+        res = solver.step_response(states["active"], duration_ns=200.0)
+        diffs = np.diff(res.dram_max_mv)
+        assert np.all(diffs >= -1e-6)
+
+    def test_initial_droop_suppressed_by_decap(self, ddr3_stack, states):
+        """Right after the step, a bigger decap holds the rail up."""
+        small = TransientSolver(
+            ddr3_stack, DecapConfig(die_nf_per_mm2=0.01, package_uf=0.05), dt_ns=1.0
+        )
+        big = TransientSolver(
+            ddr3_stack, DecapConfig(die_nf_per_mm2=1.0, package_uf=5.0), dt_ns=1.0
+        )
+        early_small = small.step_response(states["active"], 10.0).dram_max_mv[2]
+        early_big = big.step_response(states["active"], 10.0).dram_max_mv[2]
+        assert early_big < early_small
+
+    def test_settling_time_grows_with_decap(self, ddr3_stack, states):
+        fast = TransientSolver(
+            ddr3_stack, DecapConfig(die_nf_per_mm2=0.02, package_uf=0.1), dt_ns=1.0
+        )
+        slow = TransientSolver(
+            ddr3_stack, DecapConfig(die_nf_per_mm2=1.0, package_uf=5.0), dt_ns=1.0
+        )
+        t_fast = fast.step_response(states["active"], 500.0).settling_time_ns()
+        t_slow = slow.step_response(states["active"], 500.0).settling_time_ns()
+        assert t_slow > t_fast
+
+
+class TestBurst:
+    def test_short_burst_peak_below_dc(self, ddr3_stack, states):
+        """A brief activation burst never reaches the DC droop: the decap
+        sources the transient charge -- the AC benefit the paper credits
+        to the decoupling capacitors behind the bond wires."""
+        solver = TransientSolver(
+            ddr3_stack, DecapConfig(die_nf_per_mm2=3.0, package_uf=5.0), dt_ns=1.0
+        )
+        dc = ddr3_stack.dram_max_mv(states["active"])
+        burst = solver.simulate(
+            [(states["idle"], 10.0), (states["active"], 8.0), (states["idle"], 50.0)]
+        )
+        assert burst.peak_mv < 0.8 * dc
+
+    def test_recovery_after_burst(self, solver, states):
+        res = solver.simulate(
+            [(states["active"], 100.0), (states["idle"], 300.0)]
+        )
+        # After the load stops, the rail recovers toward the idle level.
+        assert res.dram_max_mv[-1] < 0.2 * res.peak_mv
+
+    def test_per_die_series_shapes(self, solver, states):
+        res = solver.step_response(states["active"], 50.0)
+        assert set(res.per_die_mv) == {"dram1", "dram2", "dram3", "dram4"}
+        for series in res.per_die_mv.values():
+            assert series.shape == res.times_ns.shape
+
+    def test_v0_shape_checked(self, solver, states):
+        with pytest.raises(SolverError):
+            solver.simulate([(states["active"], 10.0)], v0=np.zeros(3))

@@ -1,0 +1,41 @@
+"""Unit conversion helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+def test_length_conversions():
+    assert units.um(1000.0) == pytest.approx(1.0)
+    assert units.mm(2.5) == 2.5
+    assert units.cm(1.0) == pytest.approx(10.0)
+    assert units.to_um(0.025) == pytest.approx(25.0)
+
+
+def test_electrical_conversions():
+    assert units.mohm(50.0) == pytest.approx(0.05)
+    assert units.ohm(1.2) == 1.2
+    assert units.mv(30.0) == pytest.approx(0.030)
+    assert units.to_mv(0.030) == pytest.approx(30.0)
+    assert units.ma(150.0) == pytest.approx(0.150)
+    assert units.to_ma(0.150) == pytest.approx(150.0)
+    assert units.mw(220.5) == pytest.approx(0.2205)
+    assert units.to_mw(0.2205) == pytest.approx(220.5)
+
+
+def test_time_conversions():
+    assert units.ns(1.25) == pytest.approx(1.25e-9)
+    assert units.us(109.3) == pytest.approx(109.3e-6)
+    assert units.to_us(109.3e-6) == pytest.approx(109.3)
+    assert units.mhz(800.0) == pytest.approx(8e8)
+
+
+@given(st.floats(min_value=1e-9, max_value=1e9, allow_nan=False))
+def test_round_trips(value):
+    assert units.to_um(units.um(value)) == pytest.approx(value, rel=1e-12)
+    assert units.to_mv(units.mv(value)) == pytest.approx(value, rel=1e-12)
+    assert units.to_ma(units.ma(value)) == pytest.approx(value, rel=1e-12)
+    assert units.to_mw(units.mw(value)) == pytest.approx(value, rel=1e-12)
+    assert units.to_us(units.us(value)) == pytest.approx(value, rel=1e-12)
