@@ -1,0 +1,161 @@
+"""Before/after benchmark of the design-space evaluation engine.
+
+Measures the off-chip DDR3 design-space sample three ways:
+
+* **seed** -- the seed's serial path: one stack rebuilt per design point,
+  single-RHS solves, all perf caches disabled;
+* **serial-opt** -- the optimized engine on one worker (power-map cache,
+  vectorized assembly);
+* **parallel-opt** -- the optimized engine fanned over processes
+  (``REPRO_BENCH_WORKERS``, default 4).
+
+It also times the controller LUT build per-state vs batched.  Per-sample
+IR values from every path must agree within 1e-9 mV -- the engine trades
+no accuracy for speed.  Results land in
+``benchmarks/results/perf_sampling.json`` so speedups are tracked across
+PRs; the machine's CPU count is recorded because process fan-out can
+only help where cores exist.
+
+Run directly (``python benchmarks/bench_perf_sampling.py``) or under
+pytest (``pytest benchmarks/bench_perf_sampling.py -s``).  Set
+``REPRO_BENCH_SMOKE=1`` for a reduced sweep (CI artifact mode) and
+``REPRO_BENCH_STRICT=1`` to additionally assert the >= 3x speedup target
+(meaningful only on a multi-core machine).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+
+def _bench_workers() -> int:
+    try:
+        return max(2, int(os.environ.get("REPRO_BENCH_WORKERS", "4")))
+    except ValueError:
+        return 4
+
+
+def run_benchmark() -> dict:
+    from repro.controller import IRDropLUT
+    from repro.designs import off_chip_ddr3
+    from repro.pdn.stackup import build_stack
+    from repro.perf.cache import clear_caches, power_map_cache_enabled
+    from repro.perf.timers import reset_timers
+    from repro.regress.model import (
+        config_from_parts,
+        continuous_sample_grid,
+        sample_design_space,
+        valid_discrete_combos,
+    )
+
+    bench = off_chip_ddr3()
+    if _smoke():
+        combos = valid_discrete_combos(bench)[:4]
+        grid_kwargs = dict(m2_points=2, m3_points=2, tc_points=1)
+    else:
+        combos = valid_discrete_combos(bench)
+        grid_kwargs = dict(m2_points=3, m3_points=3, tc_points=2)
+    grid = continuous_sample_grid(bench, **grid_kwargs)
+    state = bench.reference_state()
+    reset_timers()
+
+    # --- seed serial path: rebuild per point, single RHS, no caches -------
+    clear_caches()
+    power_map_cache_enabled(False)
+    t0 = time.perf_counter()
+    seed_values = []
+    for key in combos:
+        for m2, m3, tc in grid:
+            config = config_from_parts(bench, key, m2, m3, tc)
+            stack = build_stack(bench.stack, config)
+            seed_values.append(stack.dram_max_mv(state))
+    seed_s = time.perf_counter() - t0
+    power_map_cache_enabled(True)
+
+    # --- optimized engine, serial ------------------------------------------
+    clear_caches()
+    t0 = time.perf_counter()
+    serial = sample_design_space(bench, combos=combos, workers=1, **grid_kwargs)
+    serial_s = time.perf_counter() - t0
+
+    # --- optimized engine, process fan-out ---------------------------------
+    workers = _bench_workers()
+    clear_caches()
+    t0 = time.perf_counter()
+    parallel = sample_design_space(
+        bench, combos=combos, workers=workers, **grid_kwargs
+    )
+    parallel_s = time.perf_counter() - t0
+
+    # --- accuracy: every path must agree to 1e-9 mV -------------------------
+    num = len(seed_values)
+    assert len(serial) == len(parallel) == num
+    max_dev = max(
+        max(abs(sv - s.ir_mv), abs(sv - p.ir_mv))
+        for sv, s, p in zip(seed_values, serial, parallel)
+    )
+    assert max_dev <= 1e-9, f"IR values diverged by {max_dev} mV"
+
+    # --- LUT build: per-state loop vs batched block solve -------------------
+    lut_stack = build_stack(bench.stack, bench.baseline)
+    _ = lut_stack.solver  # factorize outside the timed region
+    t0 = time.perf_counter()
+    lazy = IRDropLUT(lut_stack, precompute=False)
+    import itertools
+
+    for counts in itertools.product(range(3), repeat=4):
+        lazy.lookup(counts)
+    lut_loop_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    batched = IRDropLUT(lut_stack)
+    lut_batched_s = time.perf_counter() - t0
+    assert batched.as_dict() == lazy.as_dict()
+
+    result = {
+        "benchmark": "ddr3_off design-space sample",
+        "smoke": _smoke(),
+        "num_samples": num,
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "seed_serial_s": round(seed_s, 3),
+        "optimized_serial_s": round(serial_s, 3),
+        "optimized_parallel_s": round(parallel_s, 3),
+        "speedup_serial": round(seed_s / serial_s, 3),
+        "speedup_parallel": round(seed_s / parallel_s, 3),
+        "solves_per_sec_seed": round(num / seed_s, 2),
+        "solves_per_sec_optimized": round(num / min(serial_s, parallel_s), 2),
+        "max_ir_deviation_mv": max_dev,
+        "lut_per_state_s": round(lut_loop_s, 3),
+        "lut_batched_s": round(lut_batched_s, 3),
+        "lut_batch_speedup": round(lut_loop_s / lut_batched_s, 3),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "perf_sampling.json").write_text(
+        json.dumps(result, indent=2) + "\n"
+    )
+    return result
+
+
+def test_perf_sampling_speedup():
+    """Record the perf artifact; assert accuracy always, speedup if strict."""
+    result = run_benchmark()
+    print("\n" + json.dumps(result, indent=2))
+    assert result["max_ir_deviation_mv"] <= 1e-9
+    # The engine must not be slower than the seed path it replaces (with
+    # a noise margin: smoke sweeps are sub-second and timing-jittery).
+    assert result["speedup_serial"] >= 0.75
+    if os.environ.get("REPRO_BENCH_STRICT", "0") == "1":
+        assert result["speedup_parallel"] >= 3.0
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_benchmark(), indent=2))

@@ -41,6 +41,7 @@ from repro.pdn import (
     TSVLocation,
     build_stack,
 )
+from repro.perf import cached_build_stack
 from repro.power import MemoryState
 from repro.rmesh import IRDropResult, StackSolver
 
@@ -59,6 +60,7 @@ __all__ = [
     "BumpLocation",
     "Mounting",
     "build_stack",
+    "cached_build_stack",
     "MemoryState",
     "IRDropResult",
     "StackSolver",

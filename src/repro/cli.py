@@ -12,6 +12,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -19,6 +20,8 @@ from repro.designs import all_benchmarks, benchmark
 from repro.experiments import registry, run_experiment
 from repro.pdn.config import Bonding
 from repro.pdn.stackup import build_stack
+from repro.perf.parallel import WORKERS_ENV
+from repro.perf.timers import report as perf_report
 from repro.power.state import MemoryState
 
 
@@ -65,12 +68,34 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _workers_arg(value: str) -> int:
+    count = int(value)
+    if count < 0:
+        raise argparse.ArgumentTypeError(
+            f"workers must be >= 0 (0 means serial), got {count}"
+        )
+    return count
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the repro3d argument parser (exposed for tests/docs)."""
     parser = argparse.ArgumentParser(
         prog="repro3d",
         description="3D DRAM DC power-integrity co-optimization platform "
         "(DAC'15 reproduction)",
+    )
+    parser.add_argument(
+        "--perf-report",
+        action="store_true",
+        help="print accumulated solver/assembly timers after the command",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default=None,
+        metavar="N",
+        help="process count for design-space sweeps (default: serial, or "
+        f"the {WORKERS_ENV} environment variable)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -104,7 +129,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    if args.workers is not None:
+        # Experiment drivers resolve workers from the environment, so the
+        # flag reaches every sweep without threading it through each API.
+        os.environ[WORKERS_ENV] = str(args.workers)
+    code = args.func(args)
+    if args.perf_report:
+        print("\n" + perf_report())
+    return code
 
 
 if __name__ == "__main__":

@@ -20,6 +20,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.pdn.stackup import PDNStack
+from repro.perf.timers import timed
 from repro.power.state import MemoryState
 
 
@@ -44,13 +45,35 @@ class IRDropLUT:
     def precompute_all(self) -> None:
         """Solve every state with counts in [0, max_banks_per_die]^dies.
 
-        One factorization + (max+1)^dies back-substitutions; for the
-        4-die, 2-bank-interleave stacked DDR3 that is 81 solves.
+        One factorization + one *batched* back-substitution: all pending
+        states' current vectors go through SuperLU as a single
+        ``(num_nodes, k)`` block (for the 4-die, 2-bank-interleave
+        stacked DDR3 that is one 80-column solve plus the free idle
+        state), via :meth:`repro.pdn.stackup.PDNStack.solve_states`.
         """
-        for counts in itertools.product(
-            range(self.max_banks_per_die + 1), repeat=self.num_dies
-        ):
-            self.lookup(counts)
+        pending = [
+            counts
+            for counts in itertools.product(
+                range(self.max_banks_per_die + 1), repeat=self.num_dies
+            )
+            if counts not in self._table
+        ]
+        if not pending:
+            return
+        with timed("lut.precompute"):
+            active = []
+            for counts in pending:
+                if sum(counts) == 0:
+                    self._table[counts] = 0.0
+                else:
+                    active.append(counts)
+            states = [
+                MemoryState.from_counts(counts, self.stack.spec.dram_floorplan)
+                for counts in active
+            ]
+            results = self.stack.solve_states(states)
+            for counts, result in zip(active, results):
+                self._table[counts] = result.dram_max_mv
 
     def lookup(self, counts: Tuple[int, ...]) -> float:
         """Max IR drop (mV) of a memory state given per-die bank counts."""
@@ -97,11 +120,16 @@ class IRDropLUT:
         return dict(self._table)
 
     def to_json(self) -> str:
-        """Serialize the (precomputed) table for firmware-style reuse.
+        """Serialize the full table for firmware-style reuse.
 
         A real memory controller would consume exactly this artifact: the
-        per-state maxima, not the solver.
+        per-state maxima, not the solver.  A lazily-populated table is
+        precomputed first, so the shipped artifact is always complete --
+        previously a partial table serialized silently and made
+        :meth:`StaticIRDropLUT.lookup` raise at controller runtime.
         """
+        if len(self._table) < (self.max_banks_per_die + 1) ** self.num_dies:
+            self.precompute_all()
         payload = {
             "num_dies": self.num_dies,
             "max_banks_per_die": self.max_banks_per_die,

@@ -6,7 +6,7 @@ from typing import Optional
 
 from repro.designs import BenchmarkSpec, benchmark
 from repro.pdn.config import PDNConfig
-from repro.pdn.stackup import build_stack
+from repro.perf.cache import cached_build_stack
 from repro.power.state import MemoryState
 from repro.tech.calibration import DEFAULT_TECH
 
@@ -17,8 +17,13 @@ def solve_design(
     state: MemoryState,
     pitch: Optional[float] = None,
 ):
-    """Build a stack for (benchmark, config) and solve one state."""
-    stack = build_stack(bench.stack, config, tech=DEFAULT_TECH, pitch=pitch)
+    """Build a stack for (benchmark, config) and solve one state.
+
+    Stacks come from the keyed solver cache: experiments that revisit a
+    configuration (e.g. the same baseline across many states) reuse the
+    assembled network and its factorization.
+    """
+    stack = cached_build_stack(bench.stack, config, tech=DEFAULT_TECH, pitch=pitch)
     return stack.solve_state(state)
 
 

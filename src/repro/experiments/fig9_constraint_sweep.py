@@ -30,7 +30,7 @@ from repro.designs import BenchmarkSpec, off_chip_ddr3, on_chip_ddr3
 from repro.dram.timing import TimingParams
 from repro.experiments.base import ExperimentResult, Row, register
 from repro.pdn.config import Bonding, PDNConfig
-from repro.pdn.stackup import build_stack
+from repro.perf.cache import cached_build_stack
 
 PAPER_MAX_IR = {1: 30.03, 2: 22.15, 3: 17.18, 4: 64.41, 5: 30.04, 6: 65.43}
 
@@ -71,7 +71,7 @@ def run(fast: bool = True) -> ExperimentResult:
     timing = TimingParams.ddr3_1600()
     rows = []
     for case_id, label, bench, config in cases:
-        stack = build_stack(bench.stack, config)
+        stack = cached_build_stack(bench.stack, config)
         lut = IRDropLUT(stack)
         model: Dict[str, object] = {
             "max_ir_mv": lut.lookup(tuple(

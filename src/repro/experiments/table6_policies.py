@@ -23,7 +23,7 @@ from repro.controller import (
 from repro.designs import off_chip_ddr3
 from repro.dram.timing import TimingParams
 from repro.experiments.base import ExperimentResult, Row, register
-from repro.pdn.stackup import build_stack
+from repro.perf.cache import cached_build_stack
 
 PAPER = {
     "standard": (109.3, 0.114, 30.03),
@@ -38,7 +38,7 @@ CONSTRAINT_MV = 24.0
 def run(fast: bool = True) -> ExperimentResult:
     """Run the three scheduling policies (Table 6)."""
     bench = off_chip_ddr3()
-    stack = build_stack(bench.stack, bench.baseline)
+    stack = cached_build_stack(bench.stack, bench.baseline)
     lut = IRDropLUT(stack)
     timing = TimingParams.ddr3_1600()
     cfg = SimConfig(timing=timing)

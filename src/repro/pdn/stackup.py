@@ -29,7 +29,7 @@ property the paper exploits to make F2F reuse one mask set.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
 from typing import Dict, List, Optional, Sequence
 
@@ -52,8 +52,10 @@ from repro.pdn.tsv import (
     tsv_points_for_config,
     wirebond_points,
 )
+from repro.perf.cache import cached_dram_power_map
+from repro.perf.timers import timed
 from repro.power.model import DramPowerSpec, LogicPowerSpec
-from repro.power.powermap import PowerMap, dram_power_map, logic_power_map
+from repro.power.powermap import PowerMap, logic_power_map
 from repro.power.state import MemoryState
 from repro.rmesh.mesh import LayerMesh
 from repro.rmesh.solve import IRDropResult, StackSolver
@@ -182,7 +184,9 @@ class PDNStack:
             )
         maps: Dict[str, PowerMap] = {}
         for die in range(self.spec.num_dram_dies):
-            maps[self.load_layer_key(die)] = dram_power_map(
+            # Memoized rasterization: design-space sweeps solve hundreds
+            # of different stacks against the same state on the same grid.
+            maps[self.load_layer_key(die)] = cached_dram_power_map(
                 self.spec.dram_floorplan,
                 self.spec.dram_power,
                 state,
@@ -208,6 +212,38 @@ class PDNStack:
         """Solve one memory state and extract per-die maxima."""
         maps = self.power_maps(state, logic_scale)
         raw = self.solver.solve_power_maps(maps)
+        return self._result_from_raw(state, maps, raw)
+
+    def solve_states(
+        self, states: Sequence[MemoryState], logic_scale: float = 1.0
+    ) -> List[StackIRResult]:
+        """Solve many memory states in one batched back-substitution.
+
+        All states' current vectors are stacked into a ``(num_nodes, k)``
+        block and pushed through the factorization in a single
+        :meth:`~repro.rmesh.solve.StackSolver.solve_many` call.  Result
+        ``i`` is numerically identical to ``solve_state(states[i])``.
+        """
+        if not states:
+            return []
+        solver = self.solver
+        all_maps = [self.power_maps(state, logic_scale) for state in states]
+        currents = np.stack(
+            [solver.currents_from_maps(maps) for maps in all_maps], axis=1
+        )
+        raws = solver.solve_many(currents)
+        return [
+            self._result_from_raw(state, maps, raw)
+            for state, maps, raw in zip(states, all_maps, raws)
+        ]
+
+    def _result_from_raw(
+        self,
+        state: MemoryState,
+        maps: Dict[str, PowerMap],
+        raw: IRDropResult,
+    ) -> StackIRResult:
+        """Extract per-die maxima and power bookkeeping from a raw solve."""
         per_die = {
             name: raw.die_max_drop_mv(name) for name in self.dram_die_names
         }
@@ -314,6 +350,16 @@ def build_stack(
     pitch: Optional[float] = None,
 ) -> PDNStack:
     """Build the resistive network for one benchmark at one design point."""
+    with timed("stackup.build"):
+        return _build_stack(spec, config, tech, pitch)
+
+
+def _build_stack(
+    spec: StackSpec,
+    config: PDNConfig,
+    tech: TechConstants,
+    pitch: Optional[float],
+) -> PDNStack:
     pitch = pitch or tech.mesh_pitch
     fp = spec.dram_floorplan
     dram_grid = Grid2D.from_pitch(fp.outline, pitch)

@@ -1,0 +1,193 @@
+"""Keyed LRU caches for built stacks and rasterized power maps.
+
+Two caches, both process-global:
+
+* **Stack cache** -- maps ``(stack spec, PDNConfig, tech, pitch)`` to a
+  built :class:`~repro.pdn.stackup.PDNStack`.  Because a ``PDNStack``
+  lazily holds its SuperLU factorization, a cache hit skips mesh
+  assembly *and* factorization -- exactly the work that dominates
+  repeated evaluations of the same configuration (baseline
+  re-evaluation, fig9 sweeps, Table 9 verification solves).
+* **Power-map cache** -- maps ``(floorplan, power spec, state, die,
+  grid, vdd)`` to the rasterized per-node current map.  Design-space
+  sampling evaluates hundreds of *different* stacks against the *same*
+  reference state on the *same* grid; rasterization is ~30% of each
+  sample, and this cache collapses it to one rasterization per state.
+
+Keys are built from ``repr`` of the participating (frozen or
+effectively-immutable) dataclasses, which is deterministic and covers
+every physical field -- two specs that print the same build the same
+network.  Entries are evicted least-recently-used.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+from repro.perf.timers import timed
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from repro.pdn.stackup import PDNStack
+
+
+class LRUCache:
+    """A minimal ordered-dict LRU with hit/miss/eviction counters."""
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Any, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.enabled = True
+
+    def get(self, key: Any) -> Optional[Any]:
+        if not self.enabled:
+            return None
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        if not self.enabled:
+            return
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+class StackCache(LRUCache):
+    """LRU of built (and lazily factorized) stacks.
+
+    Factorizations hold dense L/U factors, so the default capacity is
+    deliberately modest; raise it for sweeps that revisit many configs.
+    """
+
+    def __init__(self, maxsize: int = 32) -> None:
+        super().__init__(maxsize)
+
+    @staticmethod
+    def key(spec: Any, config: Any, tech: Any, pitch: Optional[float]) -> Tuple:
+        return (repr(spec), repr(config), repr(tech), pitch)
+
+    def build(
+        self,
+        spec: Any,
+        config: Any,
+        tech: Any = None,
+        pitch: Optional[float] = None,
+    ) -> "PDNStack":
+        """``build_stack`` with memoization; same signature semantics."""
+        # Imported lazily: stackup imports this module for the power-map
+        # cache, so a module-level import would be circular.
+        from repro.pdn.stackup import build_stack
+        from repro.tech.calibration import DEFAULT_TECH
+
+        tech = tech or DEFAULT_TECH
+        key = self.key(spec, config, tech, pitch)
+        stack = self.get(key)
+        if stack is None:
+            stack = build_stack(spec, config, tech=tech, pitch=pitch)
+            self.put(key, stack)
+        return stack
+
+
+#: Process-global stack cache used by the cached build entry point.
+stack_cache = StackCache()
+
+#: Process-global power-map cache (value: the (ny, nx) current array).
+power_map_cache = LRUCache(maxsize=256)
+
+
+def cached_build_stack(
+    spec: Any,
+    config: Any,
+    tech: Any = None,
+    pitch: Optional[float] = None,
+) -> "PDNStack":
+    """Drop-in for :func:`repro.pdn.stackup.build_stack` with reuse.
+
+    Returns the *same* ``PDNStack`` object for repeated identical keys;
+    treat the result as read-only (every library path does).
+    """
+    with timed("cache.stack_lookup"):
+        return stack_cache.build(spec, config, tech=tech, pitch=pitch)
+
+
+def cached_dram_power_map(
+    floorplan: Any,
+    spec: Any,
+    state: Any,
+    die: int,
+    grid: Any,
+    vdd: float,
+    mirrored: bool = False,
+):
+    """Memoized :func:`repro.power.powermap.dram_power_map`.
+
+    The returned :class:`PowerMap` wraps a *copy* of the cached current
+    array so callers that mutate their map cannot corrupt the cache.
+    """
+    from repro.power.powermap import PowerMap, dram_power_map
+
+    key = (
+        repr(floorplan),
+        repr(spec),
+        state.active,
+        die,
+        (grid.outline, grid.nx, grid.ny),
+        vdd,
+        mirrored,
+    )
+    current = power_map_cache.get(key)
+    if current is None:
+        pmap = dram_power_map(floorplan, spec, state, die, grid, vdd, mirrored)
+        power_map_cache.put(key, pmap.current)
+        return pmap
+    return PowerMap(grid, current.copy())
+
+
+def power_map_cache_enabled(enabled: bool) -> None:
+    """Globally enable/disable power-map memoization (benchmark knob)."""
+    power_map_cache.enabled = enabled
+    if not enabled:
+        power_map_cache.clear()
+
+
+def clear_caches() -> None:
+    """Drop all cached stacks and power maps (frees factorizations)."""
+    stack_cache.clear()
+    power_map_cache.clear()
+
+
+def cache_stats() -> Dict[str, Dict[str, int]]:
+    """Hit/miss/eviction counters of every process-global cache."""
+    return {
+        "stack": stack_cache.stats(),
+        "power_map": power_map_cache.stats(),
+    }

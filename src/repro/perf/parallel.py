@@ -1,0 +1,95 @@
+"""Process-level fan-out for design-space evaluation.
+
+The combos x grid sweep behind Table 9 is embarrassingly parallel: every
+design point builds, factorizes, and solves its own stack.
+:func:`map_design_points` fans a picklable function over items with a
+``ProcessPoolExecutor``, preserving input order, and falls back to a
+plain serial loop when one worker is requested or when the platform
+cannot spawn processes (sandboxes, restricted containers).
+
+Worker count resolution order:
+
+1. explicit ``workers`` argument (``None``/``0`` mean "decide for me"),
+2. the ``REPRO_WORKERS`` environment variable (the CLI ``--workers``
+   flag sets it so experiment drivers inherit the knob),
+3. serial (1 worker) -- parallelism is opt-in, because for small sweeps
+   process startup can cost more than it saves.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.perf.timers import timed
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve a worker count from the argument or the environment.
+
+    ``workers=None`` or ``0`` consults ``REPRO_WORKERS``; absent or
+    invalid values resolve to 1 (serial).  Counts are clamped to at
+    least 1 and at most the machine's CPU count times 2 (oversubscribing
+    beyond that only adds scheduler churn for this CPU-bound work).
+    """
+    if workers is None or workers == 0:
+        raw = os.environ.get(WORKERS_ENV, "")
+        try:
+            workers = int(raw)
+        except ValueError:
+            workers = 1
+        if workers < 0:  # env values degrade instead of crashing a sweep
+            workers = 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    limit = max(1, (os.cpu_count() or 1) * 2)
+    return max(1, min(workers, limit))
+
+
+def map_design_points(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    workers: Optional[int] = None,
+    chunksize: int = 1,
+) -> List[R]:
+    """``[fn(item) for item in items]`` with optional process fan-out.
+
+    Results are returned in input order regardless of worker count, so
+    callers see identical output from serial and parallel runs.  ``fn``
+    and the items must be picklable when ``workers > 1``.  If the
+    executor cannot start (no fork/spawn permitted), the call degrades
+    to the serial loop with a warning instead of failing.
+    """
+    items = list(items)
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(items) <= 1:
+        with timed("parallel.serial_map"):
+            return [fn(item) for item in items]
+    try:
+        with timed("parallel.process_map"):
+            with ProcessPoolExecutor(max_workers=min(workers, len(items))) as ex:
+                return list(ex.map(fn, items, chunksize=chunksize))
+    except (OSError, PermissionError) as exc:
+        warnings.warn(
+            f"process pool unavailable ({exc}); falling back to serial",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        with timed("parallel.serial_map"):
+            return [fn(item) for item in items]
+
+
+def iter_chunks(items: Sequence[T], size: int) -> Iterable[List[T]]:
+    """Split a sequence into consecutive chunks of at most ``size``."""
+    if size < 1:
+        raise ValueError(f"chunk size must be >= 1, got {size}")
+    for start in range(0, len(items), size):
+        yield list(items[start : start + size])

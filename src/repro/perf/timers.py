@@ -1,0 +1,71 @@
+"""Named accumulating wall-clock timers.
+
+Every hot path of the flow (stack assembly, factorization, solves,
+design-space sampling, LUT builds) accumulates into a process-global
+registry keyed by a dotted name.  The registry is cheap enough to leave
+always-on (one ``perf_counter`` pair per timed region) and is surfaced
+through ``repro3d ... --perf-report`` and
+:func:`repro.perf.timers.report`.
+
+The registry is per-process: worker processes of the parallel executor
+accumulate into their own copy, so the report of the parent process only
+covers work the parent did itself.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Tuple
+
+_lock = threading.Lock()
+_times: Dict[str, float] = {}
+_counts: Dict[str, int] = {}
+
+
+def add_time(name: str, seconds: float, count: int = 1) -> None:
+    """Accumulate ``seconds`` (and ``count`` events) under ``name``."""
+    with _lock:
+        _times[name] = _times.get(name, 0.0) + seconds
+        _counts[name] = _counts.get(name, 0) + count
+
+
+@contextmanager
+def timed(name: str) -> Iterator[None]:
+    """Context manager that accumulates the block's wall time."""
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        add_time(name, time.perf_counter() - t0)
+
+
+def reset_timers() -> None:
+    """Clear all accumulated timers (tests, fresh benchmark runs)."""
+    with _lock:
+        _times.clear()
+        _counts.clear()
+
+
+def snapshot() -> Dict[str, Tuple[float, int]]:
+    """Copy of the registry: ``{name: (total_seconds, count)}``."""
+    with _lock:
+        return {name: (_times[name], _counts[name]) for name in _times}
+
+
+def report() -> str:
+    """Human-readable table of accumulated timers, slowest first."""
+    snap = snapshot()
+    if not snap:
+        return "perf: no timers recorded"
+    width = max(len(name) for name in snap)
+    lines = [f"{'timer':<{width}}  {'total':>9}  {'calls':>7}  {'mean':>9}"]
+    for name, (total, count) in sorted(
+        snap.items(), key=lambda kv: kv[1][0], reverse=True
+    ):
+        mean = total / count if count else 0.0
+        lines.append(
+            f"{name:<{width}}  {total:>8.3f}s  {count:>7d}  {mean * 1e3:>7.2f}ms"
+        )
+    return "\n".join(lines)

@@ -38,6 +38,8 @@ from repro.pdn.config import (
     TSVLocation,
 )
 from repro.pdn.stackup import build_stack
+from repro.perf.parallel import map_design_points
+from repro.perf.timers import timed
 from repro.tech.calibration import DEFAULT_TECH, TechConstants
 
 #: Discrete part of a design point (the regression fits one linear model
@@ -166,6 +168,27 @@ def continuous_sample_grid(
     ]
 
 
+def _eval_combo_chunk(
+    task: Tuple[BenchmarkSpec, TechConstants, Optional[float], DiscreteKey,
+                List[Tuple[float, float, int]]],
+) -> List[DesignSample]:
+    """Evaluate one discrete combo's continuous grid (worker unit).
+
+    Module-level so it pickles into :class:`ProcessPoolExecutor` workers;
+    each design point builds, factorizes, and solves its own stack, so
+    points are independent and chunking by combo just bounds pickling
+    overhead.
+    """
+    bench, tech, pitch, key, grid = task
+    state = bench.reference_state()
+    out: List[DesignSample] = []
+    for m2, m3, tc in grid:
+        config = config_from_parts(bench, key, m2, m3, tc)
+        stack = build_stack(bench.stack, config, tech=tech, pitch=pitch)
+        out.append(DesignSample(config=config, ir_mv=stack.dram_max_mv(state)))
+    return out
+
+
 def sample_design_space(
     bench: BenchmarkSpec,
     tech: TechConstants = DEFAULT_TECH,
@@ -174,19 +197,21 @@ def sample_design_space(
     m3_points: int = 3,
     tc_points: int = 3,
     combos: Optional[Sequence[DiscreteKey]] = None,
+    workers: Optional[int] = None,
 ) -> List[DesignSample]:
-    """Run R-Mesh solves over the sampled design space of one benchmark."""
-    state = bench.reference_state()
-    samples: List[DesignSample] = []
+    """Run R-Mesh solves over the sampled design space of one benchmark.
+
+    ``workers`` fans the combos x grid sweep over processes (``None``/0
+    consults ``REPRO_WORKERS``; 1 runs serially).  The sample order --
+    combo-major, grid-minor -- and every IR value are identical whatever
+    the worker count.
+    """
     grid = continuous_sample_grid(bench, m2_points, m3_points, tc_points)
-    for key in combos if combos is not None else valid_discrete_combos(bench):
-        for m2, m3, tc in grid:
-            config = config_from_parts(bench, key, m2, m3, tc)
-            stack = build_stack(bench.stack, config, tech=tech, pitch=pitch)
-            samples.append(
-                DesignSample(config=config, ir_mv=stack.dram_max_mv(state))
-            )
-    return samples
+    keys = list(combos) if combos is not None else valid_discrete_combos(bench)
+    tasks = [(bench, tech, pitch, key, grid) for key in keys]
+    with timed("regress.sample"):
+        chunks = map_design_points(_eval_combo_chunk, tasks, workers=workers)
+    return [sample for chunk in chunks for sample in chunk]
 
 
 class IRDropSurrogate:

@@ -8,7 +8,7 @@ machinery behind ``scripts/generate_report.py``.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Sequence
 
 from repro.experiments.base import ExperimentResult, Row
 

@@ -138,7 +138,7 @@ class BranchCurrentAnalysis:
         links = self.link_currents(key_a, key_b)
         if not links:
             raise SolverError(f"no links between {key_a!r} and {key_b!r}")
-        return CrowdingReport(np.abs(np.array([l.current for l in links])))
+        return CrowdingReport(np.abs(np.array([lk.current for lk in links])))
 
     def supply_crowding(self) -> CrowdingReport:
         """Crowding over the supply (C4 / package) entry links."""

@@ -10,14 +10,15 @@ back-substitutions.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
 
 import numpy as np
 import scipy.sparse.linalg as spla
 
 from repro.errors import SolverError
 from repro.geometry import Point
+from repro.perf.timers import add_time
 from repro.power.powermap import PowerMap
 from repro.rmesh.stack import StackModel
 from repro.units import to_mv
@@ -99,6 +100,7 @@ class StackSolver:
         except RuntimeError as exc:  # singular matrix
             raise SolverError(f"factorization failed: {exc}") from exc
         self.factor_time = time.perf_counter() - t0
+        add_time("solver.factorize", self.factor_time)
         self._num_nodes = model.num_nodes
 
     def solve_currents(self, currents: np.ndarray) -> IRDropResult:
@@ -113,14 +115,49 @@ class StackSolver:
         t0 = time.perf_counter()
         drops = self._lu.solve(currents)
         elapsed = time.perf_counter() - t0
+        add_time("solver.solve", elapsed)
         if not np.all(np.isfinite(drops)):
             raise SolverError("solve produced non-finite drops")
         return IRDropResult(model=self.model, drops=drops, solve_time=elapsed)
 
-    def solve_power_maps(
-        self, maps: Mapping[str, PowerMap]
-    ) -> IRDropResult:
-        """Solve with loads given as power maps keyed by layer key.
+    def solve_many(self, currents_matrix: np.ndarray) -> List[IRDropResult]:
+        """Solve ``k`` load configurations in one back-substitution.
+
+        ``currents_matrix`` has shape ``(num_nodes, k)``, one current
+        vector per column.  The whole block goes through SuperLU's
+        triangular solves in a single call, which amortizes the sparse
+        traversal over all right-hand sides -- the batched form of the
+        "one factorization, dozens of back-substitutions" trick the
+        controller LUT build relies on.  Column ``i`` of the result is
+        bitwise identical to ``solve_currents(currents_matrix[:, i])``.
+        """
+        if currents_matrix.ndim != 2 or currents_matrix.shape[0] != self._num_nodes:
+            raise SolverError(
+                f"currents matrix has shape {currents_matrix.shape}, "
+                f"expected ({self._num_nodes}, k)"
+            )
+        if currents_matrix.shape[1] == 0:
+            return []
+        if np.any(currents_matrix < -1e-15):
+            raise SolverError("negative load current: loads draw from VDD")
+        t0 = time.perf_counter()
+        block = self._lu.solve(np.asfortranarray(currents_matrix))
+        elapsed = time.perf_counter() - t0
+        add_time("solver.solve_many", elapsed, count=currents_matrix.shape[1])
+        if not np.all(np.isfinite(block)):
+            raise SolverError("solve produced non-finite drops")
+        per_rhs = elapsed / block.shape[1]
+        return [
+            IRDropResult(
+                model=self.model,
+                drops=np.ascontiguousarray(block[:, i]),
+                solve_time=per_rhs,
+            )
+            for i in range(block.shape[1])
+        ]
+
+    def currents_from_maps(self, maps: Mapping[str, PowerMap]) -> np.ndarray:
+        """Assemble one global current vector from per-layer power maps.
 
         Each power map must be rasterized on the same grid as its target
         layer; the map's currents are drawn from that layer's nodes.
@@ -135,4 +172,10 @@ class StackSolver:
                     f"match layer {key!r} grid {grid.nx}x{grid.ny}"
                 )
             currents[sl] += pmap.flat()
-        return self.solve_currents(currents)
+        return currents
+
+    def solve_power_maps(
+        self, maps: Mapping[str, PowerMap]
+    ) -> IRDropResult:
+        """Solve with loads given as power maps keyed by layer key."""
+        return self.solve_currents(self.currents_from_maps(maps))

@@ -100,6 +100,21 @@ class StackModel:
         i, j = entry.mesh.grid.nearest_node(local)
         return entry.offset + entry.mesh.grid.node_id(i, j)
 
+    def _nodes_at_xy(self, key: str, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`node_at`: global ids for stack-coordinate arrays.
+
+        Matches the scalar path exactly: truncation toward zero (like
+        ``int()``) then clamping to the grid, so snapped ids are
+        identical whichever path built them.
+        """
+        entry = self._entry(key)
+        grid = entry.mesh.grid
+        i = ((xs - entry.origin.x - grid.outline.x0) / grid.dx).astype(np.int64)
+        j = ((ys - entry.origin.y - grid.outline.y0) / grid.dy).astype(np.int64)
+        np.clip(i, 0, grid.nx - 1, out=i)
+        np.clip(j, 0, grid.ny - 1, out=j)
+        return entry.offset + j * grid.nx + i
+
     def connect_layers_at_points(
         self,
         key_a: str,
@@ -120,12 +135,19 @@ class StackModel:
             raise MeshError(
                 f"{len(points)} points but {len(conductances)} conductances"
             )
-        for point, g in zip(points, conductances):
+        if not points:
+            return
+        for g in conductances:
             if g <= 0.0:
                 raise MeshError(f"link conductance must be positive, got {g}")
-            self._links.append(
-                VerticalLink(self.node_at(key_a, point), self.node_at(key_b, point), g)
-            )
+        xs = np.fromiter((p.x for p in points), dtype=float, count=len(points))
+        ys = np.fromiter((p.y for p in points), dtype=float, count=len(points))
+        nodes_a = self._nodes_at_xy(key_a, xs, ys)
+        nodes_b = self._nodes_at_xy(key_b, xs, ys)
+        self._links.extend(
+            VerticalLink(int(a), int(b), g)
+            for a, b, g in zip(nodes_a, nodes_b, conductances)
+        )
 
     def connect_layers_uniform(
         self, key_a: str, key_b: str, conductance_per_mm2: float
@@ -145,16 +167,17 @@ class StackModel:
         grid = src.mesh.grid
         cell_area = grid.dx * grid.dy
         g = conductance_per_mm2 * cell_area
-        for i, j in grid.iter_indices():
-            local = grid.node_point(i, j)
-            point = Point(local.x + src.origin.x, local.y + src.origin.y)
-            self._links.append(
-                VerticalLink(
-                    src.offset + grid.node_id(i, j),
-                    self.node_at(dst.key, point),
-                    g,
-                )
-            )
+        # Vectorized over all source nodes, in flat-id (j-major) order so
+        # the link list matches what the scalar loop produced.
+        jj, ii = np.divmod(np.arange(grid.num_nodes), grid.nx)
+        xs = grid.outline.x0 + (ii + 0.5) * grid.dx + src.origin.x
+        ys = grid.outline.y0 + (jj + 0.5) * grid.dy + src.origin.y
+        src_nodes = src.offset + np.arange(grid.num_nodes)
+        dst_nodes = self._nodes_at_xy(dst.key, xs, ys)
+        self._links.extend(
+            VerticalLink(int(sa), int(sb), g)
+            for sa, sb in zip(src_nodes, dst_nodes)
+        )
 
     def connect_supply_at_points(
         self,
@@ -169,10 +192,17 @@ class StackModel:
             raise MeshError(
                 f"{len(points)} points but {len(conductances)} conductances"
             )
-        for point, g in zip(points, conductances):
+        if not points:
+            return
+        for g in conductances:
             if g <= 0.0:
                 raise MeshError(f"supply conductance must be positive, got {g}")
-            self._supply.append(SupplyLink(self.node_at(key, point), g))
+        xs = np.fromiter((p.x for p in points), dtype=float, count=len(points))
+        ys = np.fromiter((p.y for p in points), dtype=float, count=len(points))
+        nodes = self._nodes_at_xy(key, xs, ys)
+        self._supply.extend(
+            SupplyLink(int(n), g) for n, g in zip(nodes, conductances)
+        )
 
     # -- inspection -------------------------------------------------------------
 
@@ -265,14 +295,14 @@ class StackModel:
             a, b, g = entry.mesh.edge_arrays()
             stamp(a + entry.offset, b + entry.offset, g)
         if self._links:
-            a = np.fromiter((l.node_a for l in self._links), dtype=np.int64)
-            b = np.fromiter((l.node_b for l in self._links), dtype=np.int64)
-            g = np.fromiter((l.conductance for l in self._links), dtype=float)
+            a = np.fromiter((lk.node_a for lk in self._links), dtype=np.int64)
+            b = np.fromiter((lk.node_b for lk in self._links), dtype=np.int64)
+            g = np.fromiter((lk.conductance for lk in self._links), dtype=float)
             stamp(a, b, g)
         # Supply links only add to the diagonal (the supply node, at drop 0,
         # is eliminated).
-        s = np.fromiter((l.node for l in self._supply), dtype=np.int64)
-        gs = np.fromiter((l.conductance for l in self._supply), dtype=float)
+        s = np.fromiter((lk.node for lk in self._supply), dtype=np.int64)
+        gs = np.fromiter((lk.conductance for lk in self._supply), dtype=float)
         rows.append(s)
         cols.append(s)
         vals.append(gs)

@@ -1,6 +1,5 @@
 """CLI coverage for the extension experiments and report script."""
 
-import pytest
 
 from repro.cli import main
 from repro.experiments import registry

@@ -50,7 +50,7 @@ class TestInterfaceCurrents:
         report = analysis.interface_crowding("dram3/M3", "dram4/M3")
         # Net upward current == top die load (signed sum, not magnitudes).
         links = analysis.link_currents("dram3/M3", "dram4/M3")
-        net = sum(l.current for l in links)
+        net = sum(lk.current for lk in links)
         assert abs(net) == pytest.approx(top_current, rel=1e-6)
         assert report.total_a >= abs(net) - 1e-12
 

@@ -5,7 +5,7 @@ import pytest
 
 import repro
 from repro import errors
-from repro.geometry import Grid2D, Point, Rect
+from repro.geometry import Grid2D, Rect
 from repro.power import MemoryState, PowerMap
 from repro.rmesh import LayerMesh, StackModel
 from repro.tech import MetalLayer, RouteDirection
