@@ -21,6 +21,10 @@ pytest (``pytest benchmarks/bench_perf_sampling.py -s``).  Set
 ``REPRO_BENCH_SMOKE=1`` for a reduced sweep (CI artifact mode) and
 ``REPRO_BENCH_STRICT=1`` to additionally assert the >= 3x speedup target
 (meaningful only on a multi-core machine).
+
+Direct runs accept the observability output flags (``--trace-out``,
+``--metrics-out``, ``--manifest-out``) so CI archives a span trace,
+metric snapshot, and provenance manifest next to the timing numbers.
 """
 
 from __future__ import annotations
@@ -157,5 +161,47 @@ def test_perf_sampling_speedup():
         assert result["speedup_parallel"] >= 3.0
 
 
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="design-space sampling benchmark (see module docstring)"
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write the benchmark's span tree as Chrome trace-event JSON",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the metrics + timers snapshot as JSON",
+    )
+    parser.add_argument(
+        "--manifest-out", metavar="PATH", default=None,
+        help="write a run provenance manifest",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs.manifest import build_manifest
+    from repro.obs.metrics import write_metrics
+    from repro.obs.trace import span, write_chrome_trace
+
+    with span("bench.perf_sampling", smoke=_smoke()) as sp:
+        result = run_benchmark()
+    print(json.dumps(result, indent=2))
+    if args.trace_out:
+        write_chrome_trace(args.trace_out)
+    if args.metrics_out:
+        write_metrics(args.metrics_out)
+    if args.manifest_out:
+        build_manifest(
+            experiment_id="bench_perf_sampling",
+            title="design-space sampling benchmark",
+            config={"smoke": _smoke(), "workers": _bench_workers()},
+            duration_s=sp.duration,
+            extra={"results": result},
+        ).write(args.manifest_out)
+    return 0
+
+
 if __name__ == "__main__":
-    print(json.dumps(run_benchmark(), indent=2))
+    raise SystemExit(main())

@@ -7,6 +7,19 @@ Examples::
     repro3d run table9 --full     # full (slow) variant
     repro3d all                   # every experiment, fast variants
     repro3d solve ddr3_off 0-0-0-2 --f2f   # ad-hoc IR solve
+
+Observability flags (global, any command)::
+
+    --log-level debug             # surface library diagnostics
+    --log-json run.jsonl          # JSON-lines structured log sink
+    --quiet                       # errors only on stdout
+    --trace-out trace.json        # Chrome trace-event span tree
+    --metrics-out metrics.json    # counters/gauges/histograms + timers
+    --manifest-out manifest.json  # run provenance receipt
+
+All output goes through the ``repro`` logger hierarchy; at the default
+``info`` level stdout is byte-identical to the historical ``print``
+output, so scripts that parse it keep working.
 """
 
 from __future__ import annotations
@@ -14,36 +27,63 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.designs import all_benchmarks, benchmark
 from repro.experiments import registry, run_experiment
+from repro.obs.log import configure, get_logger
+from repro.obs.manifest import build_manifest
+from repro.obs.metrics import write_metrics
+from repro.obs.trace import span, write_chrome_trace
 from repro.pdn.config import Bonding
 from repro.pdn.stackup import build_stack
 from repro.perf.parallel import WORKERS_ENV
 from repro.perf.timers import report as perf_report
 from repro.power.state import MemoryState
 
+_log = get_logger("cli")
+
+_LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def _manifest_path(args: argparse.Namespace) -> Optional[Path]:
+    """Where this invocation's manifest goes, if anywhere.
+
+    ``--manifest-out`` wins; otherwise asking for metrics or a trace
+    implies provenance, so the manifest lands next to that artifact.
+    """
+    if args.manifest_out:
+        return Path(args.manifest_out)
+    for candidate in (args.metrics_out, args.trace_out):
+        if candidate:
+            return Path(candidate).with_suffix(".manifest.json")
+    return None
+
 
 def _cmd_list(_: argparse.Namespace) -> int:
-    print("available experiments:")
+    _log.info("available experiments:")
     for exp_id in sorted(registry):
-        print(f"  {exp_id}")
-    print("\nbenchmarks:", ", ".join(sorted(all_benchmarks())))
+        _log.info("  %s", exp_id)
+    _log.info("\nbenchmarks: %s", ", ".join(sorted(all_benchmarks())))
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = run_experiment(args.experiment, fast=not args.full)
-    print(result.fmt())
+    manifest_out = _manifest_path(args)
+    result = run_experiment(
+        args.experiment, fast=not args.full, manifest_out=manifest_out
+    )
+    if manifest_out is not None:
+        args._manifest_written = True
+    _log.info("%s", result.fmt())
     return 0
 
 
 def _cmd_all(args: argparse.Namespace) -> int:
     for exp_id in sorted(registry):
         result = run_experiment(exp_id, fast=not args.full)
-        print(result.fmt())
-        print()
+        _log.info("%s\n", result.fmt())
     return 0
 
 
@@ -61,10 +101,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         else bench.reference_state()
     )
     result = stack.solve_state(state)
-    print(f"{bench.title} [{config.label()}]")
-    print(f"  {result}")
+    _log.info("%s [%s]", bench.title, config.label())
+    _log.info("  %s", result)
     for die, mv in result.per_die_mv.items():
-        print(f"  {die}: {mv:.2f} mV")
+        _log.info("  %s: %.2f mV", die, mv)
     return 0
 
 
@@ -77,44 +117,104 @@ def _workers_arg(value: str) -> int:
     return count
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """Construct the repro3d argument parser (exposed for tests/docs)."""
-    parser = argparse.ArgumentParser(
-        prog="repro3d",
-        description="3D DRAM DC power-integrity co-optimization platform "
-        "(DAC'15 reproduction)",
+#: Defaults for the global flags; applied after parsing because the
+#: shared option group uses ``SUPPRESS`` (see :func:`_global_options`).
+_GLOBAL_DEFAULTS = {
+    "perf_report": False,
+    "workers": None,
+    "log_level": "info",
+    "log_json": None,
+    "quiet": False,
+    "trace_out": None,
+    "metrics_out": None,
+    "manifest_out": None,
+}
+
+
+def _global_options() -> argparse.ArgumentParser:
+    """The shared flag group, usable before *or* after the subcommand.
+
+    ``argument_default=SUPPRESS`` keeps the subparser copy from
+    clobbering a value the main parser already set; :func:`main` fills
+    in :data:`_GLOBAL_DEFAULTS` for anything never given.
+    """
+    common = argparse.ArgumentParser(
+        add_help=False, argument_default=argparse.SUPPRESS
     )
-    parser.add_argument(
+    common.add_argument(
         "--perf-report",
         action="store_true",
         help="print accumulated solver/assembly timers after the command",
     )
-    parser.add_argument(
+    common.add_argument(
         "--workers",
         type=_workers_arg,
-        default=None,
         metavar="N",
         help="process count for design-space sweeps (default: serial, or "
         f"the {WORKERS_ENV} environment variable)",
     )
+    common.add_argument(
+        "--log-level",
+        choices=_LOG_LEVELS,
+        help="stdout/log verbosity (default: info)",
+    )
+    common.add_argument(
+        "--log-json",
+        metavar="PATH",
+        help="also write structured JSON-lines log records to PATH",
+    )
+    common.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress normal stdout output (errors still print)",
+    )
+    common.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write the run's span tree as Chrome trace-event JSON "
+        "(load in chrome://tracing or Perfetto)",
+    )
+    common.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the metrics registry + timer snapshot as JSON",
+    )
+    common.add_argument(
+        "--manifest-out",
+        metavar="PATH",
+        help="write a run provenance manifest (defaults to "
+        "<metrics/trace path>.manifest.json when those flags are set)",
+    )
+    return common
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the repro3d argument parser (exposed for tests/docs)."""
+    common = _global_options()
+    parser = argparse.ArgumentParser(
+        prog="repro3d",
+        description="3D DRAM DC power-integrity co-optimization platform "
+        "(DAC'15 reproduction)",
+        parents=[common],
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list experiments and benchmarks").set_defaults(
-        func=_cmd_list
-    )
+    sub.add_parser(
+        "list", help="list experiments and benchmarks", parents=[common]
+    ).set_defaults(func=_cmd_list)
 
-    run_p = sub.add_parser("run", help="run one experiment")
+    run_p = sub.add_parser("run", help="run one experiment", parents=[common])
     run_p.add_argument("experiment", choices=sorted(registry))
     run_p.add_argument(
         "--full", action="store_true", help="full sweeps (slower)"
     )
     run_p.set_defaults(func=_cmd_run)
 
-    all_p = sub.add_parser("all", help="run every experiment")
+    all_p = sub.add_parser("all", help="run every experiment", parents=[common])
     all_p.add_argument("--full", action="store_true")
     all_p.set_defaults(func=_cmd_all)
 
-    solve_p = sub.add_parser("solve", help="ad-hoc IR-drop solve")
+    solve_p = sub.add_parser("solve", help="ad-hoc IR-drop solve", parents=[common])
     solve_p.add_argument("benchmark", choices=sorted(all_benchmarks()))
     solve_p.add_argument(
         "state", nargs="?", help='memory state, e.g. "0-0-0-2" (default: '
@@ -129,13 +229,32 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    for key, value in _GLOBAL_DEFAULTS.items():
+        if not hasattr(args, key):
+            setattr(args, key, value)
+    configure(level=args.log_level, json_path=args.log_json, quiet=args.quiet)
     if args.workers is not None:
         # Experiment drivers resolve workers from the environment, so the
         # flag reaches every sweep without threading it through each API.
         os.environ[WORKERS_ENV] = str(args.workers)
-    code = args.func(args)
+    with span(f"cli.{args.command}") as sp:
+        code = args.func(args)
     if args.perf_report:
-        print("\n" + perf_report())
+        _log.info("\n%s", perf_report())
+    if args.trace_out:
+        write_chrome_trace(args.trace_out)
+    if args.metrics_out:
+        write_metrics(args.metrics_out)
+    manifest_path = _manifest_path(args)
+    if manifest_path is not None and not getattr(args, "_manifest_written", False):
+        # Commands without a dedicated manifest (list/all/solve) still
+        # get a provenance receipt covering the whole invocation.
+        build_manifest(
+            experiment_id=f"cli.{args.command}",
+            title=f"repro3d {args.command}",
+            config={"command": args.command, "full": getattr(args, "full", False)},
+            duration_s=sp.duration,
+        ).write(manifest_path)
     return code
 
 

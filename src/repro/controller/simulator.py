@@ -35,6 +35,8 @@ from repro.dram.bank import Bank, BankState
 from repro.dram.channel import ChannelBus
 from repro.dram.timing import TimingParams
 from repro.errors import SimulationError
+from repro.obs import metrics as _metrics
+from repro.obs.trace import span
 
 
 @dataclass(frozen=True)
@@ -130,7 +132,27 @@ class MemoryControllerSim:
     # -- main loop ------------------------------------------------------------------
 
     def run(self, max_cycles: int = 5_000_000) -> SimResult:
-        """Simulate until every request completes (or ``max_cycles``)."""
+        """Simulate until every request completes (or ``max_cycles``).
+
+        The run executes inside a ``sim.run`` trace span; completion
+        pushes queue-depth, cycle-count, and command-mix metrics into
+        the global registry (merged across worker processes when the
+        simulation itself runs inside a fanned-out sweep).
+        """
+        with span(
+            "sim.run",
+            policy=self.policy.name,
+            requests=len(self.workload),
+        ):
+            result = self._run(max_cycles)
+        _metrics.inc("sim.runs")
+        _metrics.inc("sim.requests_completed", result.completed)
+        _metrics.inc("sim.activations", result.activations)
+        _metrics.observe("sim.mean_queue_depth", result.mean_queue_depth)
+        _metrics.observe("sim.cycles", float(result.cycles))
+        return result
+
+    def _run(self, max_cycles: int) -> SimResult:
         cfg = self.config
         self.policy.reset()
         banks = [

@@ -3,13 +3,46 @@
 All library-specific errors derive from :class:`ReproError` so that callers
 can catch everything raised by this package with one clause while still
 distinguishing configuration mistakes from numerical failures.
+
+Errors carry a structured ``context`` dict (``SolverError("singular",
+num_nodes=23000)``) that outer layers extend with what they know
+(:meth:`ReproError.add_context`): the solver records the worst node, the
+stack layer adds the spec/config/state.  The context renders into
+``str(exc)`` and survives pickling, so a failure inside a fanned-out
+worker process is diagnosable from the parent's logs alone.
 """
 
 from __future__ import annotations
 
+from typing import Dict
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
+
+    def __init__(self, *args: object, **context: object) -> None:
+        super().__init__(*args)
+        self.context: Dict[str, object] = dict(context)
+
+    def add_context(self, **context: object) -> "ReproError":
+        """Attach outer-layer context; inner (earlier) keys win."""
+        for key, value in context.items():
+            self.context.setdefault(key, value)
+        return self
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if not self.context:
+            return base
+        detail = ", ".join(f"{k}={v}" for k, v in self.context.items())
+        return f"{base} [{detail}]"
+
+    def __reduce__(self):
+        # Keep the context across pickling (worker -> parent process).
+        return (self.__class__, self.args, {"context": dict(self.context)})
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.context = dict(state.get("context", {}))
 
 
 class ConfigurationError(ReproError):

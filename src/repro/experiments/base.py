@@ -1,11 +1,20 @@
-"""Experiment framework: results, rows, registry."""
+"""Experiment framework: results, rows, registry, run provenance.
+
+Every :func:`run_experiment` call executes inside a trace span and
+captures the metric delta it produced; the pair feeds a
+:class:`repro.obs.manifest.RunManifest` attached to the result (and
+optionally written to disk), so each experiment ships its own receipt.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.obs.manifest import RunManifest
 
 
 @dataclass
@@ -37,6 +46,11 @@ class ExperimentResult:
     title: str
     rows: List[Row]
     notes: List[str] = field(default_factory=list)
+    #: Provenance record attached by :func:`run_experiment`; ``None`` when
+    #: a driver is invoked directly (tests calling ``registry[id]()``).
+    manifest: Optional["RunManifest"] = field(
+        default=None, repr=False, compare=False
+    )
 
     def fmt(self) -> str:
         """Render as an aligned text table (paper | model | deviation)."""
@@ -98,11 +112,40 @@ def register(experiment_id: str):
     return deco
 
 
-def run_experiment(experiment_id: str, fast: bool = True) -> ExperimentResult:
-    """Run one experiment by id."""
+def run_experiment(
+    experiment_id: str,
+    fast: bool = True,
+    manifest_out=None,
+) -> ExperimentResult:
+    """Run one experiment by id.
+
+    The run executes inside an ``experiment.<id>`` trace span; the
+    metric delta it produced (solve counts, cache hits, IR summaries --
+    including work merged back from worker processes) lands in a
+    :class:`~repro.obs.manifest.RunManifest` attached to the result.
+    ``manifest_out`` additionally writes the manifest to that path.
+    """
     if experiment_id not in registry:
         raise ConfigurationError(
             f"unknown experiment {experiment_id!r}; available: "
             f"{sorted(registry)}"
         )
-    return registry[experiment_id](fast=fast)
+    # Local imports keep ``repro.experiments`` importable without pulling
+    # the observability stack into every driver module's import chain.
+    from repro.obs import metrics as _metrics
+    from repro.obs.manifest import build_manifest
+    from repro.obs.trace import span
+
+    before = _metrics.snapshot()
+    with span(f"experiment.{experiment_id}", fast=fast) as sp:
+        result = registry[experiment_id](fast=fast)
+    result.manifest = build_manifest(
+        experiment_id=experiment_id,
+        title=result.title,
+        config={"experiment": experiment_id, "fast": fast},
+        duration_s=sp.duration,
+        metrics_snapshot=_metrics.diff(before, _metrics.snapshot()),
+    )
+    if manifest_out is not None:
+        result.manifest.write(manifest_out)
+    return result

@@ -1,0 +1,131 @@
+"""Structured logging: per-module loggers, JSON-lines sink, quiet mode.
+
+All library logging hangs off the ``repro`` logger hierarchy.  The CLI
+calls :func:`configure` once per invocation:
+
+* a stdout handler renders bare messages (so at the default ``info``
+  level the CLI's output is byte-identical to the historical ``print``
+  calls -- scripts that parse it keep working),
+* ``--log-json PATH`` adds a JSON-lines sink where every record is one
+  ``{"ts", "level", "logger", "message", "fields"}`` object,
+* ``--quiet`` raises the stdout threshold to errors without touching the
+  JSON sink,
+* ``--log-level debug`` surfaces the library's diagnostic records.
+
+Library modules use :func:`get_logger` and attach machine-readable
+context via :func:`log_event` (or ``extra={"fields": {...}}``); when no
+handler is configured the hierarchy stays silent (NullHandler), so
+importing the library never spams test output.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from datetime import datetime, timezone
+from typing import IO, Optional
+
+from repro.errors import ConfigurationError
+
+#: Root of the library's logger hierarchy.
+LOGGER_NAME = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+# Importing the library must never print: the hierarchy is silenced until
+# configure() installs real handlers (stdlib library-logging convention).
+logging.getLogger(LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def resolve_level(level) -> int:
+    """Map a level name (or numeric level) to a ``logging`` level."""
+    if isinstance(level, int):
+        return level
+    try:
+        return _LEVELS[str(level).lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown log level {level!r}; choose from {sorted(_LEVELS)}"
+        ) from None
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    if not name:
+        return logging.getLogger(LOGGER_NAME)
+    if name.startswith(LOGGER_NAME + ".") or name == LOGGER_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{LOGGER_NAME}.{name}")
+
+
+def log_event(
+    logger: logging.Logger, level, message: str, **fields: object
+) -> None:
+    """Log ``message`` with structured ``fields`` (JSON sink carries them)."""
+    logger.log(resolve_level(level), message, extra={"fields": fields})
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, message, fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": datetime.fromtimestamp(
+                record.created, tz=timezone.utc
+            ).isoformat(),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if fields:
+            payload["fields"] = fields
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def _remove_installed(root: logging.Logger) -> None:
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs", False):
+            root.removeHandler(handler)
+            handler.close()
+
+
+def configure(
+    level="info",
+    json_path=None,
+    quiet: bool = False,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """(Re)install the library's handlers; returns the root logger.
+
+    Idempotent: previously installed handlers are replaced, so repeated
+    CLI invocations in one process never double-log.
+    """
+    root = logging.getLogger(LOGGER_NAME)
+    resolved = resolve_level(level)
+    _remove_installed(root)
+    root.setLevel(logging.DEBUG)  # handlers do the filtering
+    root.propagate = False
+
+    stdout_handler = logging.StreamHandler(stream or sys.stdout)
+    stdout_handler.setFormatter(logging.Formatter("%(message)s"))
+    stdout_handler.setLevel(logging.ERROR if quiet else resolved)
+    stdout_handler._repro_obs = True  # type: ignore[attr-defined]
+    root.addHandler(stdout_handler)
+
+    if json_path is not None:
+        json_handler = logging.FileHandler(json_path, encoding="utf-8")
+        json_handler.setFormatter(JsonLinesFormatter())
+        json_handler.setLevel(resolved)
+        json_handler._repro_obs = True  # type: ignore[attr-defined]
+        root.addHandler(json_handler)
+
+    return root

@@ -1,0 +1,206 @@
+"""Run provenance manifests: every experiment writes its own receipt.
+
+A manifest is one JSON document recording everything needed to interpret
+(or re-run) an experiment's numbers: the git revision, a hash of the run
+configuration, the RNG seeds, the worker count, the environment, the
+per-run metric delta, and a digest of the span tree.  PDN benchmark
+suites make the same point this module enforces: solver results without
+recorded diagnostics and provenance are not reproducible results.
+
+The schema is hand-validated (:func:`validate_manifest`) so CI can
+assert artifact integrity without a jsonschema dependency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import subprocess
+import sys
+from dataclasses import asdict, dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, Mapping, Optional
+
+from repro.errors import ConfigurationError
+
+#: Bump when the manifest layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Required top-level fields and their types (the validated schema).
+MANIFEST_SCHEMA: Dict[str, tuple] = {
+    "schema_version": (int,),
+    "experiment_id": (str,),
+    "title": (str,),
+    "created": (str,),
+    "duration_s": (int, float),
+    "git": (dict,),
+    "config_hash": (str, type(None)),
+    "config": (dict,),
+    "seeds": (dict,),
+    "workers": (int,),
+    "environment": (dict,),
+    "metrics": (dict,),
+    "timers": (dict,),
+    "trace": (dict,),
+    "extra": (dict,),
+}
+
+
+@dataclass
+class RunManifest:
+    """Machine-readable provenance record of one run."""
+
+    experiment_id: str
+    title: str = ""
+    created: str = ""
+    duration_s: float = 0.0
+    git: Dict[str, object] = field(default_factory=dict)
+    config_hash: Optional[str] = None
+    config: Dict[str, object] = field(default_factory=dict)
+    seeds: Dict[str, int] = field(default_factory=dict)
+    workers: int = 1
+    environment: Dict[str, object] = field(default_factory=dict)
+    metrics: Dict[str, object] = field(default_factory=dict)
+    timers: Dict[str, object] = field(default_factory=dict)
+    trace: Dict[str, object] = field(default_factory=dict)
+    extra: Dict[str, object] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, default=str) + "\n"
+
+    def write(self, path) -> Path:
+        """Validate and write the manifest; returns the path written."""
+        data = self.to_dict()
+        validate_manifest(data)
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RunManifest":
+        validate_manifest(data)
+        known = {f for f in MANIFEST_SCHEMA}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+def validate_manifest(data: Mapping[str, object]) -> None:
+    """Raise :class:`ConfigurationError` unless ``data`` fits the schema."""
+    problems = []
+    for key, types in MANIFEST_SCHEMA.items():
+        if key not in data:
+            problems.append(f"missing field {key!r}")
+        elif not isinstance(data[key], types):
+            problems.append(
+                f"field {key!r} has type {type(data[key]).__name__}, "
+                f"expected {'/'.join(t.__name__ for t in types)}"
+            )
+    if not problems and data["schema_version"] != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {data['schema_version']} != {SCHEMA_VERSION}"
+        )
+    if not problems and "sha" not in data["git"]:
+        problems.append("git record lacks 'sha'")
+    if problems:
+        raise ConfigurationError(
+            "invalid run manifest: " + "; ".join(problems)
+        )
+
+
+def load_manifest(path) -> RunManifest:
+    """Read, validate, and return a manifest written by :meth:`write`."""
+    return RunManifest.from_dict(json.loads(Path(path).read_text()))
+
+
+def git_revision(cwd=None) -> Dict[str, object]:
+    """Current git SHA and dirty flag; degrades to ``unknown`` gracefully."""
+    cwd = cwd or os.path.dirname(os.path.abspath(__file__))
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=5, check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd, capture_output=True, text=True, timeout=5, check=True,
+        ).stdout.strip()
+        return {"sha": sha, "dirty": bool(status)}
+    except (OSError, subprocess.SubprocessError):
+        return {"sha": "unknown", "dirty": None}
+
+
+def config_hash_of(config: Mapping[str, object]) -> str:
+    """Deterministic short hash of a run-configuration mapping."""
+    text = json.dumps(
+        {str(k): config[k] for k in sorted(config, key=str)},
+        sort_keys=True,
+        default=repr,
+    )
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def default_seeds() -> Dict[str, int]:
+    """Every RNG seed the platform uses (currently: the workload stream)."""
+    # Imported lazily to keep the obs package import-light.
+    from repro.controller.request import WorkloadConfig
+
+    return {"workload": WorkloadConfig().seed}
+
+
+def build_manifest(
+    experiment_id: str,
+    title: str = "",
+    config: Optional[Mapping[str, object]] = None,
+    duration_s: float = 0.0,
+    workers: Optional[int] = None,
+    seeds: Optional[Mapping[str, int]] = None,
+    metrics_snapshot: Optional[Mapping[str, object]] = None,
+    extra: Optional[Mapping[str, object]] = None,
+) -> RunManifest:
+    """Assemble a manifest from the current process state.
+
+    ``metrics_snapshot`` defaults to the global registry's current state;
+    callers that track a per-run delta (``run_experiment`` does) pass it
+    explicitly.  ``workers`` defaults to the resolved ``REPRO_WORKERS``
+    setting, matching what the sweeps actually used.
+    """
+    # Lazy imports: repro.perf depends on repro.obs, not the reverse.
+    from repro.obs import metrics as _metrics
+    from repro.obs import trace as _trace
+    from repro.perf.parallel import resolve_workers
+    from repro.perf.timers import snapshot as timers_snapshot
+
+    config = dict(config or {})
+    return RunManifest(
+        experiment_id=experiment_id,
+        title=title,
+        created=datetime.now(timezone.utc).isoformat(),
+        duration_s=round(float(duration_s), 6),
+        git=git_revision(),
+        config_hash=config_hash_of(config) if config else None,
+        config=config,
+        seeds=dict(seeds if seeds is not None else default_seeds()),
+        workers=workers if workers is not None else resolve_workers(None),
+        environment={
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        metrics=dict(
+            metrics_snapshot
+            if metrics_snapshot is not None
+            else _metrics.snapshot()
+        ),
+        timers={
+            name: {"total_s": total, "count": count}
+            for name, (total, count) in sorted(timers_snapshot().items())
+        },
+        trace=_trace.summary(),
+        extra=dict(extra or {}),
+    )

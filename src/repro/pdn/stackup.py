@@ -35,7 +35,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SolverError
 from repro.floorplan.blocks import DieFloorplan
 from repro.geometry import Grid2D, Point, Rect
 from repro.pdn.config import (
@@ -52,6 +52,8 @@ from repro.pdn.tsv import (
     tsv_points_for_config,
     wirebond_points,
 )
+from repro.obs import metrics as _metrics
+from repro.obs.log import get_logger
 from repro.perf.cache import cached_dram_power_map
 from repro.perf.timers import timed
 from repro.power.model import DramPowerSpec, LogicPowerSpec
@@ -206,12 +208,44 @@ class PDNStack:
             )
         return maps
 
+    def _annotate_solver_error(
+        self, exc: SolverError, states: Sequence[MemoryState]
+    ) -> None:
+        """Attach stack identity to a solver failure and log it.
+
+        Fanned-out workers re-raise through pickling, so this context --
+        benchmark, config label, cache key hash, offending state(s) --
+        is what makes a remote failure diagnosable from logs alone.
+        """
+        from repro.obs.manifest import config_hash_of
+
+        labels = ",".join(s.label() for s in states[:4])
+        if len(states) > 4:
+            labels += f",...({len(states)} states)"
+        exc.add_context(
+            spec=self.spec.name,
+            config=self.config.label(),
+            cache_key_hash=config_hash_of(
+                {"spec": repr(self.spec), "config": repr(self.config)}
+            ),
+            states=labels,
+        )
+        get_logger("pdn.stackup").error(
+            "solver failure: %s",
+            exc,
+            extra={"fields": dict(exc.context)},
+        )
+
     def solve_state(
         self, state: MemoryState, logic_scale: float = 1.0
     ) -> StackIRResult:
         """Solve one memory state and extract per-die maxima."""
         maps = self.power_maps(state, logic_scale)
-        raw = self.solver.solve_power_maps(maps)
+        try:
+            raw = self.solver.solve_power_maps(maps)
+        except SolverError as exc:
+            self._annotate_solver_error(exc, [state])
+            raise
         return self._result_from_raw(state, maps, raw)
 
     def solve_states(
@@ -226,12 +260,16 @@ class PDNStack:
         """
         if not states:
             return []
-        solver = self.solver
-        all_maps = [self.power_maps(state, logic_scale) for state in states]
-        currents = np.stack(
-            [solver.currents_from_maps(maps) for maps in all_maps], axis=1
-        )
-        raws = solver.solve_many(currents)
+        try:
+            solver = self.solver
+            all_maps = [self.power_maps(state, logic_scale) for state in states]
+            currents = np.stack(
+                [solver.currents_from_maps(maps) for maps in all_maps], axis=1
+            )
+            raws = solver.solve_many(currents)
+        except SolverError as exc:
+            self._annotate_solver_error(exc, states)
+            raise
         return [
             self._result_from_raw(state, maps, raw)
             for state, maps, raw in zip(states, all_maps, raws)
@@ -251,6 +289,11 @@ class PDNStack:
             raw.die_max_drop_mv("logic") if self.logic_grid is not None else None
         )
         total_mw = sum(m.total_power_mw(self.tech.vdd) for m in maps.values())
+        # Per-experiment IR summaries: the histogram (count/min/max/mean)
+        # lands in ``--metrics-out`` files and run manifests.
+        _metrics.observe("ir.dram_max_mv", max(per_die.values()))
+        if logic_mv is not None:
+            _metrics.observe("ir.logic_max_mv", logic_mv)
         return StackIRResult(
             state=state,
             raw=raw,

@@ -12,7 +12,12 @@ the design space grows:
   + SuperLU factorization) and rasterized power maps, so repeated
   configurations across experiments reuse work instead of rebuilding.
 * :mod:`repro.perf.parallel` -- process-level fan-out with a serial
-  fallback, used by design-space sampling and the co-optimizer.
+  fallback, used by design-space sampling and the co-optimizer.  Worker
+  timer/metric/span registries are shipped back per task and merged
+  into the parent, so parallel runs report true totals.
+
+This package builds on :mod:`repro.obs`: every ``timed`` region is a
+trace span, and the caches/fan-out report into the metrics registry.
 """
 
 from repro.perf.cache import (
@@ -26,6 +31,8 @@ from repro.perf.cache import (
 from repro.perf.parallel import map_design_points, resolve_workers
 from repro.perf.timers import (
     add_time,
+    diff_snapshots,
+    merge_snapshot,
     report,
     reset_timers,
     snapshot,
@@ -38,7 +45,9 @@ __all__ = [
     "cache_stats",
     "cached_build_stack",
     "clear_caches",
+    "diff_snapshots",
     "map_design_points",
+    "merge_snapshot",
     "power_map_cache_enabled",
     "report",
     "reset_timers",

@@ -25,6 +25,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
+from repro.obs import metrics as _metrics
+from repro.obs.trace import span
 from repro.perf.timers import timed
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
@@ -32,17 +34,27 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
 
 
 class LRUCache:
-    """A minimal ordered-dict LRU with hit/miss/eviction counters."""
+    """A minimal ordered-dict LRU with hit/miss/eviction counters.
 
-    def __init__(self, maxsize: int) -> None:
+    A ``name`` makes the cache report into the global metrics registry
+    (``cache.<name>.hits`` / ``.misses`` / ``.evictions``), so hit rates
+    survive worker-process merges and land in run manifests.
+    """
+
+    def __init__(self, maxsize: int, name: Optional[str] = None) -> None:
         if maxsize < 1:
             raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
+        self.name = name
         self._data: "OrderedDict[Any, Any]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.enabled = True
+
+    def _count(self, event: str) -> None:
+        if self.name is not None:
+            _metrics.inc(f"cache.{self.name}.{event}")
 
     def get(self, key: Any) -> Optional[Any]:
         if not self.enabled:
@@ -51,9 +63,11 @@ class LRUCache:
             value = self._data[key]
         except KeyError:
             self.misses += 1
+            self._count("misses")
             return None
         self._data.move_to_end(key)
         self.hits += 1
+        self._count("hits")
         return value
 
     def put(self, key: Any, value: Any) -> None:
@@ -64,6 +78,7 @@ class LRUCache:
         while len(self._data) > self.maxsize:
             self._data.popitem(last=False)
             self.evictions += 1
+            self._count("evictions")
 
     def clear(self) -> None:
         self._data.clear()
@@ -89,7 +104,7 @@ class StackCache(LRUCache):
     """
 
     def __init__(self, maxsize: int = 32) -> None:
-        super().__init__(maxsize)
+        super().__init__(maxsize, name="stack")
 
     @staticmethod
     def key(spec: Any, config: Any, tech: Any, pitch: Optional[float]) -> Tuple:
@@ -121,7 +136,7 @@ class StackCache(LRUCache):
 stack_cache = StackCache()
 
 #: Process-global power-map cache (value: the (ny, nx) current array).
-power_map_cache = LRUCache(maxsize=256)
+power_map_cache = LRUCache(maxsize=256, name="power_map")
 
 
 def cached_build_stack(
@@ -164,12 +179,16 @@ def cached_dram_power_map(
         vdd,
         mirrored,
     )
-    current = power_map_cache.get(key)
-    if current is None:
-        pmap = dram_power_map(floorplan, spec, state, die, grid, vdd, mirrored)
-        power_map_cache.put(key, pmap.current)
-        return pmap
-    return PowerMap(grid, current.copy())
+    with span("powermap.rasterize", kind="dram", die=die) as sp:
+        current = power_map_cache.get(key)
+        sp.attrs["cached"] = current is not None
+        if current is None:
+            pmap = dram_power_map(
+                floorplan, spec, state, die, grid, vdd, mirrored
+            )
+            power_map_cache.put(key, pmap.current)
+            return pmap
+        return PowerMap(grid, current.copy())
 
 
 def power_map_cache_enabled(enabled: bool) -> None:

@@ -7,6 +7,14 @@ design point builds, factorizes, and solves its own stack.
 plain serial loop when one worker is requested or when the platform
 cannot spawn processes (sandboxes, restricted containers).
 
+Observability crosses the process boundary: each worker task runs inside
+:class:`_ObsTask`, which snapshots the timer and metric registries
+around the call and ships the *delta* (plus any trace spans the task
+recorded) back with the result.  The parent merges every delta into its
+own registries, so ``--perf-report``, ``--metrics-out``, and
+``--trace-out`` report true totals for parallel runs -- solve counts
+from a ``--workers 4`` sweep equal the serial run's.
+
 Worker count resolution order:
 
 1. explicit ``workers`` argument (``None``/``0`` mean "decide for me"),
@@ -21,8 +29,12 @@ from __future__ import annotations
 import os
 import warnings
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.perf import timers as _timers
 from repro.perf.timers import timed
 
 T = TypeVar("T")
@@ -54,6 +66,52 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     return max(1, min(workers, limit))
 
 
+@dataclass
+class _WorkerReturn:
+    """One task's result plus the observability it accumulated."""
+
+    result: Any
+    timers: Dict[str, Tuple[float, int]] = field(default_factory=dict)
+    metrics: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    spans: List[Dict[str, object]] = field(default_factory=list)
+
+
+class _ObsTask:
+    """Picklable wrapper shipping per-task observability deltas home.
+
+    Snapshot-diffing (rather than reset-and-snapshot) keeps the scheme
+    correct under both fork (workers inherit parent registry state) and
+    spawn (fresh registries), and under executor reuse across items.
+    """
+
+    def __init__(self, fn: Callable[[T], R]) -> None:
+        self.fn = fn
+
+    def __call__(self, item: T) -> _WorkerReturn:
+        timers_before = _timers.snapshot()
+        metrics_before = _metrics.snapshot()
+        spans_before = _trace.span_count()
+        result = self.fn(item)
+        return _WorkerReturn(
+            result=result,
+            timers=_timers.diff_snapshots(timers_before, _timers.snapshot()),
+            metrics=_metrics.registry.diff(metrics_before, _metrics.snapshot()),
+            spans=_trace.export_spans(since=spans_before),
+        )
+
+
+def _merge_worker_returns(returns: Sequence[_WorkerReturn]) -> List[Any]:
+    """Fold worker deltas into the parent registries; return raw results."""
+    results: List[Any] = []
+    for wr in returns:
+        _timers.merge_snapshot(wr.timers)
+        _metrics.merge(wr.metrics)
+        _trace.absorb_spans(wr.spans)
+        results.append(wr.result)
+    _metrics.inc("parallel.worker_tasks_merged", len(returns))
+    return results
+
+
 def map_design_points(
     fn: Callable[[T], R],
     items: Sequence[T],
@@ -66,17 +124,21 @@ def map_design_points(
     callers see identical output from serial and parallel runs.  ``fn``
     and the items must be picklable when ``workers > 1``.  If the
     executor cannot start (no fork/spawn permitted), the call degrades
-    to the serial loop with a warning instead of failing.
+    to the serial loop with a warning instead of failing.  Worker timer,
+    metric, and span registries are merged back into this process (see
+    module docstring), so observability output matches a serial run.
     """
     items = list(items)
     workers = resolve_workers(workers)
     if workers <= 1 or len(items) <= 1:
         with timed("parallel.serial_map"):
             return [fn(item) for item in items]
+    task = _ObsTask(fn)
     try:
         with timed("parallel.process_map"):
             with ProcessPoolExecutor(max_workers=min(workers, len(items))) as ex:
-                return list(ex.map(fn, items, chunksize=chunksize))
+                returns = list(ex.map(task, items, chunksize=chunksize))
+        return _merge_worker_returns(returns)
     except (OSError, PermissionError) as exc:
         warnings.warn(
             f"process pool unavailable ({exc}); falling back to serial",

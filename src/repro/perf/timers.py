@@ -1,23 +1,26 @@
-"""Named accumulating wall-clock timers.
+"""Named accumulating wall-clock timers (the flat view of the trace).
 
 Every hot path of the flow (stack assembly, factorization, solves,
 design-space sampling, LUT builds) accumulates into a process-global
-registry keyed by a dotted name.  The registry is cheap enough to leave
-always-on (one ``perf_counter`` pair per timed region) and is surfaced
-through ``repro3d ... --perf-report`` and
-:func:`repro.perf.timers.report`.
+registry keyed by a dotted name.  Since the observability layer landed,
+:func:`timed` is a thin alias for :func:`repro.obs.trace.span`: every
+timed region is also a hierarchical trace span, and every span feeds
+this registry through the span-end hook -- the flat table surfaced by
+``repro3d ... --perf-report`` is the per-name aggregate of the trace.
 
-The registry is per-process: worker processes of the parallel executor
-accumulate into their own copy, so the report of the parent process only
-covers work the parent did itself.
+The registry is per-process, but the worker blackout of earlier
+revisions is gone: :func:`repro.perf.parallel.map_design_points` ships
+each worker task's timer delta (:func:`diff_snapshots`) back to the
+parent and folds it in with :func:`merge_snapshot`, so parallel runs
+report true totals.
 """
 
 from __future__ import annotations
 
 import threading
-import time
-from contextlib import contextmanager
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Tuple
+
+from repro.obs import trace as _trace
 
 _lock = threading.Lock()
 _times: Dict[str, float] = {}
@@ -31,14 +34,21 @@ def add_time(name: str, seconds: float, count: int = 1) -> None:
         _counts[name] = _counts.get(name, 0) + count
 
 
-@contextmanager
-def timed(name: str) -> Iterator[None]:
-    """Context manager that accumulates the block's wall time."""
-    t0 = time.perf_counter()
-    try:
-        yield
-    finally:
-        add_time(name, time.perf_counter() - t0)
+def timed(name: str):
+    """Context manager timing a block: records a span + this registry.
+
+    Alias for :func:`repro.obs.trace.span`; the span-end hook below does
+    the accumulation, so nested ``timed`` regions also nest in the
+    exported trace.
+    """
+    return _trace.span(name)
+
+
+def _accumulate_span(rec: "_trace.SpanRecord") -> None:
+    add_time(rec.name, rec.duration, rec.count)
+
+
+_trace.on_span_end(_accumulate_span)
 
 
 def reset_timers() -> None:
@@ -52,6 +62,25 @@ def snapshot() -> Dict[str, Tuple[float, int]]:
     """Copy of the registry: ``{name: (total_seconds, count)}``."""
     with _lock:
         return {name: (_times[name], _counts[name]) for name in _times}
+
+
+def diff_snapshots(
+    before: Dict[str, Tuple[float, int]],
+    after: Dict[str, Tuple[float, int]],
+) -> Dict[str, Tuple[float, int]]:
+    """Timers accumulated between two snapshots (worker task delta)."""
+    delta: Dict[str, Tuple[float, int]] = {}
+    for name, (total, count) in after.items():
+        prev_total, prev_count = before.get(name, (0.0, 0))
+        if count != prev_count or total != prev_total:
+            delta[name] = (total - prev_total, count - prev_count)
+    return delta
+
+
+def merge_snapshot(snap: Dict[str, Tuple[float, int]]) -> None:
+    """Fold a snapshot (typically a worker delta) into this registry."""
+    for name, (total, count) in snap.items():
+        add_time(name, total, count)
 
 
 def report() -> str:

@@ -62,13 +62,55 @@ def result_to_markdown(result: ExperimentResult) -> str:
     return "\n".join(lines)
 
 
+def manifest_to_markdown(manifest) -> str:
+    """Render a run manifest as a markdown provenance section.
+
+    Accepts a :class:`repro.obs.manifest.RunManifest` or its dict form;
+    surfaces the fields a reader needs to trust (or re-run) the numbers:
+    git revision, configuration hash, RNG seeds, worker count, duration.
+    """
+    data = manifest.to_dict() if hasattr(manifest, "to_dict") else dict(manifest)
+    git = data.get("git", {})
+    sha = str(git.get("sha", "unknown"))
+    if git.get("dirty"):
+        sha += " (dirty)"
+    seeds = data.get("seeds", {})
+    rows = [
+        ("git sha", sha),
+        ("config hash", str(data.get("config_hash") or "--")),
+        (
+            "seeds",
+            ", ".join(f"{k}={v}" for k, v in sorted(seeds.items())) or "--",
+        ),
+        ("workers", str(data.get("workers", 1))),
+        ("duration", f"{float(data.get('duration_s', 0.0)):.2f} s"),
+        ("created", str(data.get("created") or "--")),
+    ]
+    lines = ["## Provenance", "", "| field | value |", "|---|---|"]
+    for name, value in rows:
+        lines.append(f"| {name} | {value} |")
+    return "\n".join(lines)
+
+
 def results_to_markdown(
-    results: Iterable[ExperimentResult], title: str = "Reproduction report"
+    results: Iterable[ExperimentResult],
+    title: str = "Reproduction report",
+    manifest=None,
 ) -> str:
-    """A full markdown report from several experiment results."""
+    """A full markdown report from several experiment results.
+
+    When ``manifest`` is given (or any result carries one from
+    :func:`repro.experiments.run_experiment`), a provenance section is
+    appended so the report records which revision produced it.
+    """
     sections = [f"# {title}", ""]
     for result in results:
         sections.append(result_to_markdown(result))
+        sections.append("")
+        if manifest is None and result.manifest is not None:
+            manifest = result.manifest
+    if manifest is not None:
+        sections.append(manifest_to_markdown(manifest))
         sections.append("")
     return "\n".join(sections)
 

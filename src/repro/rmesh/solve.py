@@ -5,11 +5,18 @@ reuses the factorization across memory states: a new state only changes
 the current right-hand side.  This is what makes building the controller's
 IR-drop look-up table (section 5.2) cheap -- one factorization, dozens of
 back-substitutions.
+
+Observability: factorization and every solve run inside trace spans
+(``solver.factorize`` / ``solver.solve`` / ``solver.solve_many``); the
+metrics registry counts factorizations and solved right-hand sides,
+histograms the RHS batch sizes, and gauges each solve's relative
+residual norm ``||Gx - b|| / ||b||`` as a numerical health check.  The
+residual is computed on the already-solved vector, so recorded IR drops
+are bitwise unaffected.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping
 
@@ -18,7 +25,8 @@ import scipy.sparse.linalg as spla
 
 from repro.errors import SolverError
 from repro.geometry import Point
-from repro.perf.timers import add_time
+from repro.obs import metrics as _metrics
+from repro.obs.trace import span
 from repro.power.powermap import PowerMap
 from repro.rmesh.stack import StackModel
 from repro.units import to_mv
@@ -94,14 +102,34 @@ class StackSolver:
     def __init__(self, model: StackModel) -> None:
         self.model = model
         matrix = model.conductance_matrix().tocsc()
-        t0 = time.perf_counter()
-        try:
-            self._lu = spla.splu(matrix)
-        except RuntimeError as exc:  # singular matrix
-            raise SolverError(f"factorization failed: {exc}") from exc
-        self.factor_time = time.perf_counter() - t0
-        add_time("solver.factorize", self.factor_time)
+        with span("solver.factorize", nodes=model.num_nodes) as sp:
+            try:
+                self._lu = spla.splu(matrix)
+            except RuntimeError as exc:  # singular matrix
+                raise SolverError(
+                    f"factorization failed: {exc}",
+                    num_nodes=model.num_nodes,
+                ) from exc
+        self.factor_time = sp.duration
+        # Kept for residual-norm checks; the LU factors dominate memory.
+        self._matrix = matrix
         self._num_nodes = model.num_nodes
+        _metrics.inc("solver.factorizations")
+
+    def _observe_solution(self, rhs: np.ndarray, drops: np.ndarray) -> None:
+        """Record residual-norm and throughput metrics for one solve.
+
+        Reads the solution only -- never mutates it -- so IR numbers are
+        bitwise identical with or without observability output flags.
+        """
+        k = 1 if rhs.ndim == 1 else rhs.shape[1]
+        residual = float(np.linalg.norm(self._matrix @ drops - rhs))
+        scale = float(np.linalg.norm(rhs))
+        relative = residual / scale if scale > 0.0 else residual
+        _metrics.set_gauge("solver.residual_norm", relative)
+        _metrics.observe("solver.residual_norm", relative)
+        _metrics.inc("solver.rhs_solved", k)
+        _metrics.observe("solver.rhs_batch_size", k)
 
     def solve_currents(self, currents: np.ndarray) -> IRDropResult:
         """Solve for node drops given a per-node current vector (A)."""
@@ -111,14 +139,25 @@ class StackSolver:
                 f"({self._num_nodes},)"
             )
         if np.any(currents < -1e-15):
-            raise SolverError("negative load current: loads draw from VDD")
-        t0 = time.perf_counter()
-        drops = self._lu.solve(currents)
-        elapsed = time.perf_counter() - t0
-        add_time("solver.solve", elapsed)
+            worst = int(np.argmin(currents))
+            raise SolverError(
+                "negative load current: loads draw from VDD",
+                worst_node=worst,
+                worst_current=float(currents[worst]),
+            )
+        with span("solver.solve") as sp:
+            drops = self._lu.solve(currents)
         if not np.all(np.isfinite(drops)):
-            raise SolverError("solve produced non-finite drops")
-        return IRDropResult(model=self.model, drops=drops, solve_time=elapsed)
+            raise SolverError(
+                "solve produced non-finite drops",
+                num_nodes=self._num_nodes,
+                worst_node=int(np.argmax(~np.isfinite(drops))),
+                nonfinite=int(np.count_nonzero(~np.isfinite(drops))),
+            )
+        self._observe_solution(currents, drops)
+        return IRDropResult(
+            model=self.model, drops=drops, solve_time=sp.duration
+        )
 
     def solve_many(self, currents_matrix: np.ndarray) -> List[IRDropResult]:
         """Solve ``k`` load configurations in one back-substitution.
@@ -139,14 +178,23 @@ class StackSolver:
         if currents_matrix.shape[1] == 0:
             return []
         if np.any(currents_matrix < -1e-15):
-            raise SolverError("negative load current: loads draw from VDD")
-        t0 = time.perf_counter()
-        block = self._lu.solve(np.asfortranarray(currents_matrix))
-        elapsed = time.perf_counter() - t0
-        add_time("solver.solve_many", elapsed, count=currents_matrix.shape[1])
+            worst = int(np.argmin(currents_matrix.min(axis=1)))
+            raise SolverError(
+                "negative load current: loads draw from VDD",
+                worst_node=worst,
+            )
+        k = currents_matrix.shape[1]
+        with span("solver.solve_many", count=k, batch=k) as sp:
+            block = self._lu.solve(np.asfortranarray(currents_matrix))
         if not np.all(np.isfinite(block)):
-            raise SolverError("solve produced non-finite drops")
-        per_rhs = elapsed / block.shape[1]
+            raise SolverError(
+                "solve produced non-finite drops",
+                num_nodes=self._num_nodes,
+                batch=k,
+                nonfinite=int(np.count_nonzero(~np.isfinite(block))),
+            )
+        self._observe_solution(currents_matrix, block)
+        per_rhs = sp.duration / block.shape[1]
         return [
             IRDropResult(
                 model=self.model,

@@ -1,0 +1,303 @@
+"""Tests for the observability layer: spans, metrics, logging, manifests."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError, SolverError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.log import configure, get_logger, log_event, resolve_level
+from repro.obs.manifest import (
+    build_manifest,
+    config_hash_of,
+    load_manifest,
+    validate_manifest,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.perf.parallel import map_design_points
+from repro.perf.timers import reset_timers, snapshot, timed
+
+
+@pytest.fixture
+def clean_logging():
+    """Strip handlers configure() installed so later tests stay silent."""
+    yield
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs", False):
+            root.removeHandler(handler)
+            handler.close()
+
+
+# -- tracing ------------------------------------------------------------------
+
+
+def test_span_nesting_order_and_containment():
+    base = obs_trace.span_count()
+    with obs_trace.span("test.outer", kind="unit") as outer:
+        with obs_trace.span("test.inner"):
+            pass
+    recs = obs_trace.spans(since=base)
+    # Spans record at exit: inner completes first.
+    assert [r.name for r in recs] == ["test.inner", "test.outer"]
+    inner, outer_rec = recs
+    assert inner.parent == "test.outer"
+    assert inner.depth == 1 and outer_rec.depth == 0
+    assert outer_rec.parent is None
+    assert outer is outer_rec and outer.attrs == {"kind": "unit"}
+    # Temporal containment: the child lies inside the parent interval.
+    assert inner.ts_us >= outer_rec.ts_us
+    assert (
+        inner.ts_us + inner.dur_us
+        <= outer_rec.ts_us + outer_rec.dur_us + 1e-6
+    )
+
+
+def test_span_records_on_exception():
+    base = obs_trace.span_count()
+    with pytest.raises(ValueError):
+        with obs_trace.span("test.fails"):
+            raise ValueError("boom")
+    assert [r.name for r in obs_trace.spans(since=base)] == ["test.fails"]
+
+
+def test_chrome_trace_export(tmp_path):
+    with obs_trace.span("test.chrome_outer"):
+        with obs_trace.span("test.chrome_inner", count=3):
+            pass
+    path = tmp_path / "trace.json"
+    obs_trace.write_chrome_trace(path)
+    doc = json.loads(path.read_text())
+    assert doc["displayTimeUnit"] == "ms"
+    by_name = {e["name"]: e for e in doc["traceEvents"]}
+    inner = by_name["test.chrome_inner"]
+    assert inner["ph"] == "X"
+    assert inner["args"]["parent"] == "test.chrome_outer"
+    assert inner["args"]["count"] == 3
+    assert all(e["ts"] >= 0 for e in doc["traceEvents"])
+
+
+def test_timed_regions_feed_flat_timers():
+    reset_timers()
+    with timed("test.obs.region"):
+        pass
+    with timed("test.obs.region"):
+        pass
+    total, count = snapshot()["test.obs.region"]
+    assert count == 2
+    assert total >= 0.0
+
+
+# -- metrics ------------------------------------------------------------------
+
+
+def test_metrics_diff_and_merge():
+    a = MetricsRegistry()
+    a.inc("c", 2)
+    a.observe("h", 1.0)
+    a.set_gauge("g", 0.5)
+    before = a.snapshot()
+    a.inc("c", 3)
+    a.observe("h", 3.0)
+    a.set_gauge("g", 0.25)
+    delta = MetricsRegistry.diff(before, a.snapshot())
+    assert delta["counters"] == {"c": 3}
+    assert delta["histograms"]["h"]["count"] == 1
+    assert delta["histograms"]["h"]["total"] == pytest.approx(3.0)
+
+    b = MetricsRegistry()
+    b.inc("c", 10)
+    b.set_gauge("g", 0.75)
+    b.observe("h", 7.0)
+    b.merge(delta)
+    assert b.get_counter("c") == 13
+    assert b.get_gauge("g") == 0.75  # gauges merge by max
+    h = b.get_histogram("h")
+    assert h["count"] == 2
+    assert h["total"] == pytest.approx(10.0)
+    assert h["min"] == 1.0 and h["max"] == 7.0
+
+
+def _count_and_square(x: int) -> int:
+    obs_metrics.inc("test.obs.worker_calls")
+    obs_metrics.observe("test.obs.worker_inputs", float(x))
+    return x * x
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_worker_metrics_merge_into_parent(workers):
+    """The fix for the worker-observability blackout: parallel == serial."""
+    before = obs_metrics.snapshot()
+    assert map_design_points(_count_and_square, [1, 2, 3], workers=workers) == [
+        1,
+        4,
+        9,
+    ]
+    delta = MetricsRegistry.diff(before, obs_metrics.snapshot())
+    assert delta["counters"]["test.obs.worker_calls"] == 3
+    assert delta["histograms"]["test.obs.worker_inputs"]["count"] == 3
+    assert delta["histograms"]["test.obs.worker_inputs"]["total"] == 6.0
+
+
+def test_residual_norm_gauge_on_known_mesh(ddr3_stack, ddr3_off_bench):
+    ddr3_stack.solve_state(ddr3_off_bench.reference_state())
+    residual = obs_metrics.get_gauge("solver.residual_norm")
+    assert residual is not None
+    assert 0.0 <= residual < 1e-8  # direct LU solve: machine-precision
+
+
+# -- logging ------------------------------------------------------------------
+
+
+def test_log_level_filtering(clean_logging):
+    stream = io.StringIO()
+    configure(level="warning", stream=stream)
+    logger = get_logger("test.obs")
+    logger.info("invisible")
+    logger.warning("visible")
+    assert stream.getvalue() == "visible\n"
+
+
+def test_quiet_suppresses_info(clean_logging):
+    stream = io.StringIO()
+    configure(level="info", quiet=True, stream=stream)
+    logger = get_logger("test.obs")
+    logger.info("invisible")
+    logger.error("shown")
+    assert stream.getvalue() == "shown\n"
+
+
+def test_json_log_sink(tmp_path, clean_logging):
+    stream = io.StringIO()
+    path = tmp_path / "log.jsonl"
+    configure(level="info", json_path=str(path), stream=stream)
+    logger = get_logger("test.obs")
+    log_event(logger, "info", "solve done", residual=1e-12, nodes=42)
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert len(records) == 1
+    rec = records[0]
+    assert rec["level"] == "info"
+    assert rec["logger"] == "repro.test.obs"
+    assert rec["message"] == "solve done"
+    assert rec["fields"] == {"residual": 1e-12, "nodes": 42}
+    # The stdout handler rendered the bare message (print-compatible).
+    assert stream.getvalue() == "solve done\n"
+
+
+def test_resolve_level_rejects_unknown():
+    with pytest.raises(ConfigurationError):
+        resolve_level("chatty")
+
+
+# -- manifests ----------------------------------------------------------------
+
+
+def test_manifest_roundtrip(tmp_path):
+    manifest = build_manifest(
+        "unit_test", title="unit", config={"a": 1}, duration_s=1.5
+    )
+    path = manifest.write(tmp_path / "run.manifest.json")
+    loaded = load_manifest(path)
+    assert loaded.to_dict() == manifest.to_dict()
+    assert loaded.git["sha"]
+    assert loaded.seeds["workload"] == 20150607
+    assert loaded.config_hash == config_hash_of({"a": 1})
+    assert loaded.workers >= 1
+
+
+def test_manifest_validation_rejects_bad_documents():
+    data = build_manifest("unit_test").to_dict()
+    missing = dict(data)
+    del missing["git"]
+    with pytest.raises(ConfigurationError):
+        validate_manifest(missing)
+    wrong_version = dict(data)
+    wrong_version["schema_version"] = 99
+    with pytest.raises(ConfigurationError):
+        validate_manifest(wrong_version)
+    no_sha = dict(data)
+    no_sha["git"] = {"dirty": False}
+    with pytest.raises(ConfigurationError):
+        validate_manifest(no_sha)
+
+
+def test_run_experiment_attaches_manifest(tmp_path):
+    from repro.experiments import run_experiment
+
+    out = tmp_path / "table8.manifest.json"
+    result = run_experiment("table8", manifest_out=out)
+    assert result.manifest is not None
+    assert result.manifest.experiment_id == "table8"
+    assert result.manifest.config == {"experiment": "table8", "fast": True}
+    assert load_manifest(out).experiment_id == "table8"
+
+
+def test_report_includes_provenance():
+    from repro.experiments import run_experiment
+    from repro.reporting import results_to_markdown
+
+    result = run_experiment("table8")
+    md = results_to_markdown([result])
+    assert "## Provenance" in md
+    assert result.manifest.git["sha"][:12] in md
+
+
+# -- error context ------------------------------------------------------------
+
+
+def test_error_context_renders_and_pickles():
+    exc = SolverError("factorization failed", num_nodes=10)
+    exc.add_context(spec="ddr3", num_nodes=99)  # inner key wins
+    assert exc.context == {"num_nodes": 10, "spec": "ddr3"}
+    text = str(exc)
+    assert "factorization failed" in text
+    assert "num_nodes=10" in text and "spec=ddr3" in text
+
+    clone = pickle.loads(pickle.dumps(exc))
+    assert isinstance(clone, SolverError)
+    assert clone.args == exc.args
+    assert clone.context == exc.context
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def test_cli_quiet_and_artifacts(tmp_path, capsys, clean_logging):
+    from repro.cli import main
+
+    metrics_path = tmp_path / "m.json"
+    trace_path = tmp_path / "t.json"
+    code = main(
+        [
+            "run",
+            "table8",
+            "--quiet",
+            "--metrics-out",
+            str(metrics_path),
+            "--trace-out",
+            str(trace_path),
+        ]
+    )
+    assert code == 0
+    assert capsys.readouterr().out == ""  # quiet: nothing on stdout
+    metrics = json.loads(metrics_path.read_text())
+    assert "metrics" in metrics and "timers" in metrics
+    assert json.loads(trace_path.read_text())["traceEvents"]
+    # Asking for metrics implies provenance: the manifest lands alongside.
+    manifest = load_manifest(tmp_path / "m.manifest.json")
+    assert manifest.experiment_id == "table8"
+
+
+def test_cli_default_output_unchanged(capsys, clean_logging):
+    from repro.cli import main
+
+    assert main(["run", "table8"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("== table8:")
+    assert out.endswith("\n")
