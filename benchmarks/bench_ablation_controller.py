@@ -19,6 +19,7 @@ from repro.designs import off_chip_ddr3
 from repro.dram.timing import TimingParams
 from repro.pdn import build_stack
 from repro.controller import IRDropLUT
+from repro.bench import register_bench
 
 
 def _lut():
@@ -58,6 +59,7 @@ def run_close_window_sweep(lut):
     return out
 
 
+@register_bench("ablation_lookahead", heavy=True)
 def test_ablation_act_lookahead(benchmark):
     lut = _lut()
     rows = benchmark.pedantic(run_lookahead_sweep, args=(lut,), rounds=1, iterations=1)
@@ -76,6 +78,7 @@ def test_ablation_act_lookahead(benchmark):
         assert rows[k]["ir_distr"] <= rows[k]["ir_fcfs"] * 1.01
 
 
+@register_bench("ablation_close_window", heavy=True)
 def test_ablation_close_window(benchmark):
     lut = _lut()
     rows = benchmark.pedantic(

@@ -11,6 +11,7 @@ import time
 from repro.designs import off_chip_ddr3
 from repro.pdn import build_stack
 from repro.power import MemoryState
+from repro.bench import register_bench
 
 PITCHES = (0.8, 0.6, 0.4, 0.3, 0.2, 0.15)
 
@@ -34,6 +35,7 @@ def run_sweep():
     return rows
 
 
+@register_bench("ablation_mesh_resolution")
 def test_ablation_mesh_resolution(benchmark):
     rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
     print("\n== ablation: mesh resolution ==")

@@ -11,6 +11,7 @@ from repro.designs import off_chip_ddr3
 from repro.pdn import Mounting, StackSpec, build_stack
 from repro.power import MemoryState
 from repro.power.model import DDR3_POWER, DramPowerSpec
+from repro.bench import register_bench
 
 FRACTIONS = (0.0, 0.15, 0.35, 0.55)
 
@@ -39,6 +40,7 @@ def run_sweep():
     return rows
 
 
+@register_bench("ablation_decoder_fraction")
 def test_ablation_decoder_fraction(benchmark):
     rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
     print("\n== ablation: decoder fraction ==")

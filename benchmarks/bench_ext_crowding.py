@@ -1,6 +1,9 @@
 """Extension bench: TSV current crowding across design options."""
 
+from repro.bench import register_bench
 
+
+@register_bench("ext_crowding", experiment_id="ext_crowding")
 def test_ext_crowding(run_paper_experiment):
     result = run_paper_experiment("ext_crowding")
     rows = {r.label: r.model for r in result.rows}

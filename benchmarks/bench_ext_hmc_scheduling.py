@@ -1,6 +1,9 @@
 """Extension bench: IR-aware scheduling on the 16-channel HMC."""
 
+from repro.bench import register_bench
 
+
+@register_bench("ext_hmc", heavy=True, experiment_id="ext_hmc")
 def test_ext_hmc_scheduling(run_paper_experiment):
     result = run_paper_experiment("ext_hmc")
     rows = {r.label: r.model for r in result.rows}

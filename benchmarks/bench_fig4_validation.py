@@ -3,7 +3,10 @@
 Paper: 32.2 mV (R-Mesh) vs 32.6 mV (EPS), 1.3% error, 517x speedup.
 """
 
+from repro.bench import register_bench
 
+
+@register_bench("fig4", experiment_id="fig4")
 def test_fig4_validation(run_paper_experiment):
     result = run_paper_experiment("fig4")
     row = result.rows[0]

@@ -1,6 +1,9 @@
 """Figure 5: TSV count sweep and C4-TSV alignment impact."""
 
+from repro.bench import register_bench
 
+
+@register_bench("fig5", experiment_id="fig5")
 def test_fig5_tsv_count_alignment(run_paper_experiment):
     result = run_paper_experiment("fig5")
     count_rows = [r for r in result.rows if r.label.startswith("TC=")]

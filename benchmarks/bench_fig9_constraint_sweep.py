@@ -3,8 +3,10 @@
 import math
 
 from conftest import fast_mode
+from repro.bench import register_bench
 
 
+@register_bench("fig9", heavy=True, experiment_id="fig9")
 def test_fig9_constraint_sweep(run_paper_experiment):
     result = run_paper_experiment("fig9")
 

@@ -1,6 +1,9 @@
 """Section 3.1: off-chip 30.03 mV vs coupled on-chip 64.41 mV."""
 
+from repro.bench import register_bench
 
+
+@register_bench("sec31", experiment_id="sec31")
 def test_sec31_mounting(run_paper_experiment):
     result = run_paper_experiment("sec31")
     for row in result.rows:

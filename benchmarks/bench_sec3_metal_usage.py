@@ -1,6 +1,9 @@
 """Section 3: 2x PDN metal usage reduces IR drop by (more than) ~40%."""
 
+from repro.bench import register_bench
 
+
+@register_bench("sec3_metal", experiment_id="sec3_metal")
 def test_sec3_metal_usage(run_paper_experiment):
     result = run_paper_experiment("sec3_metal")
     final = result.rows[-1]

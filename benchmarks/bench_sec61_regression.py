@@ -1,6 +1,9 @@
 """Section 6.1: regression quality and the brute-force time reduction."""
 
+from repro.bench import register_bench
 
+
+@register_bench("sec61", heavy=True, experiment_id="sec61")
 def test_sec61_regression(run_paper_experiment):
     result = run_paper_experiment("sec61")
     for row in result.rows:

@@ -1,6 +1,9 @@
 """Table 1: benchmark specifications."""
 
+from repro.bench import register_bench
 
+
+@register_bench("table1", experiment_id="table1")
 def test_table1_specs(run_paper_experiment):
     result = run_paper_experiment("table1")
     for row in result.rows:

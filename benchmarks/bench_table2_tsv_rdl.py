@@ -1,6 +1,9 @@
 """Table 2: TSV location and RDL design options."""
 
+from repro.bench import register_bench
 
+
+@register_bench("table2", experiment_id="table2")
 def test_table2_tsv_rdl(run_paper_experiment):
     result = run_paper_experiment("table2")
     for row in result.rows:

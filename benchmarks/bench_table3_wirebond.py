@@ -1,6 +1,9 @@
 """Table 3: dedicated TSVs and backside wire bonding."""
 
+from repro.bench import register_bench
 
+
+@register_bench("table3", experiment_id="table3")
 def test_table3_wirebond(run_paper_experiment):
     result = run_paper_experiment("table3")
     coupled, dedicated, off = result.rows

@@ -1,6 +1,9 @@
 """Table 4: intra-pair overlapping vs F2F PDN-sharing benefit."""
 
+from repro.bench import register_bench
 
+
+@register_bench("table4", experiment_id="table4")
 def test_table4_f2f_overlap(run_paper_experiment):
     result = run_paper_experiment("table4")
     deltas = {r.label.split(" ")[0]: r.model["delta_pct"] for r in result.rows}

@@ -1,6 +1,9 @@
 """Table 5: memory state and I/O activity impact."""
 
+from repro.bench import register_bench
 
+
+@register_bench("table5", experiment_id="table5")
 def test_table5_state_ioactivity(run_paper_experiment):
     result = run_paper_experiment("table5")
     for row in result.rows:

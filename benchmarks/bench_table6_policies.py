@@ -4,7 +4,10 @@ Paper: standard 109.3 us / 0.114 reads/clk / 30.03 mV,
 IR-aware FCFS 84.68 / 0.148 / 23.98, DistR 75.85 / 0.165 / 23.98.
 """
 
+from repro.bench import register_bench
 
+
+@register_bench("table6", heavy=True, experiment_id="table6")
 def test_table6_policies(run_paper_experiment):
     result = run_paper_experiment("table6")
     rows = {r.label: r for r in result.rows}

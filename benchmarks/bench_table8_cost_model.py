@@ -1,8 +1,10 @@
 """Table 8: the cost model reproduces every stated term exactly."""
 
 import pytest
+from repro.bench import register_bench
 
 
+@register_bench("table8", experiment_id="table8")
 def test_table8_cost_model(run_paper_experiment):
     result = run_paper_experiment("table8")
     for row in result.rows:

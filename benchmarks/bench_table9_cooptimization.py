@@ -3,8 +3,10 @@
 import math
 
 from conftest import fast_mode
+from repro.bench import register_bench
 
 
+@register_bench("table9", heavy=True, experiment_id="table9")
 def test_table9_cooptimization(run_paper_experiment):
     result = run_paper_experiment("table9")
 

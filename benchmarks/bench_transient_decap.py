@@ -11,6 +11,7 @@ from repro.designs import on_chip_ddr3
 from repro.pdn import build_stack
 from repro.power import MemoryState
 from repro.rmesh.transient import DecapConfig, TransientSolver
+from repro.bench import register_bench
 
 BURST_NS = 20.0
 
@@ -40,6 +41,7 @@ def run_matrix():
     return out
 
 
+@register_bench("transient_decap")
 def test_transient_decap(benchmark):
     out = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
     print("\n== extension: burst droop vs wire bonding and decap ==")

@@ -3,13 +3,19 @@
 Every bench runs one experiment driver end to end (rounds=1 -- these are
 scientific reproductions, not micro-benchmarks), prints the regenerated
 table next to the paper's numbers, and archives it under
-``benchmarks/results/``.
+``benchmarks/results/`` (git-ignored; created on demand).
 
 Run with::
 
     pytest benchmarks/ --benchmark-only -s
 
 Set ``REPRO_FAST=1`` to use the reduced sweeps of every experiment.
+
+The same test functions are registered with :mod:`repro.bench` (the
+``@register_bench`` decorators) and driven by the unified telemetry
+runner -- ``repro3d bench`` / ``python -m repro.bench`` -- which
+replaces this fixture with an instrumented equivalent and emits the
+``BENCH_*.json`` suite record; see ``docs/benchmarks.md``.
 """
 
 from __future__ import annotations
@@ -42,7 +48,7 @@ def run_paper_experiment(benchmark):
         )
         text = result.fmt()
         print("\n" + text)
-        RESULTS_DIR.mkdir(exist_ok=True)
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
         (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
         return result
 

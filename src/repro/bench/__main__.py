@@ -1,0 +1,13 @@
+"""``python -m repro.bench`` -- alias for ``repro3d bench``.
+
+Forwards every argument to the CLI's bench subcommand, so the module
+form works in environments where the console script is not installed
+(CI containers running straight from a checkout).
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

@@ -1,0 +1,200 @@
+"""Benchmark registry: every ``benchmarks/bench_*.py`` declares itself.
+
+A bench registers by decorating its existing pytest test function with
+:func:`register_bench` -- the decorator is purely additive (it returns
+the function unchanged), so pytest collection and the pytest-benchmark
+harness keep working exactly as before.  The unified runner
+(:mod:`repro.bench.runner`) then drives the *same* function outside
+pytest by inspecting its signature:
+
+* a ``run_paper_experiment`` parameter gets an instrumented experiment
+  runner (the contract of the ``benchmarks/conftest.py`` fixture),
+* a ``benchmark`` parameter gets a pedantic-compatible shim,
+* a zero-argument function is called directly.
+
+Discovery (:func:`discover`) imports every ``bench_*.py`` under the
+repository's ``benchmarks/`` directory, firing the decorators.  The
+bench scripts live outside the installed package on purpose -- they are
+repository artifacts, like the paper tables they check -- so discovery
+locates them relative to the source tree (or ``REPRO_BENCH_DIR``).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import inspect
+import os
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+#: Environment override for the bench-script directory (CI, odd layouts).
+BENCH_DIR_ENV = "REPRO_BENCH_DIR"
+
+#: How the runner must invoke a registered function.
+HARNESS_EXPERIMENT = "experiment"  # fn(run_paper_experiment)
+HARNESS_PEDANTIC = "pedantic"  # fn(benchmark)  (pytest-benchmark shim)
+HARNESS_PLAIN = "plain"  # fn()
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One registered benchmark: a name, a callable, and how to drive it."""
+
+    name: str
+    func: Callable
+    heavy: bool = False
+    experiment_id: Optional[str] = None
+    source: str = ""
+    tags: tuple = field(default_factory=tuple)
+
+    @property
+    def harness(self) -> str:
+        """Infer the invocation style from the function's first parameter."""
+        params = list(inspect.signature(self.func).parameters)
+        if not params:
+            return HARNESS_PLAIN
+        if params[0] == "run_paper_experiment":
+            return HARNESS_EXPERIMENT
+        if params[0] == "benchmark":
+            return HARNESS_PEDANTIC
+        raise ConfigurationError(
+            f"bench {self.name!r}: cannot drive function with first "
+            f"parameter {params[0]!r} (expected run_paper_experiment, "
+            "benchmark, or no parameters)"
+        )
+
+
+#: name -> spec.  Populated by the decorators below / :func:`discover`.
+REGISTRY: Dict[str, BenchSpec] = {}
+
+
+def register_bench(
+    name: str,
+    heavy: bool = False,
+    experiment_id: Optional[str] = None,
+    tags: tuple = (),
+):
+    """Decorator adding a bench function to the registry.
+
+    ``heavy`` excludes the bench from ``--smoke`` suites (multi-second
+    controller sims and full sweeps).  ``experiment_id`` links the bench
+    to a :mod:`repro.experiments` driver for anchor extraction; it
+    defaults to ``name`` for experiment-harness benches.
+
+    Re-registering the same name from the same source file replaces the
+    entry (pytest and the discovery loader may both import a module);
+    the same name from a *different* file is a collision and raises.
+    """
+
+    def deco(func: Callable):
+        source = getattr(func, "__module__", "") or ""
+        try:
+            source = inspect.getfile(func)
+        except (TypeError, OSError):
+            pass
+        existing = REGISTRY.get(name)
+        if existing is not None and Path(existing.source).name != Path(source).name:
+            raise ConfigurationError(
+                f"duplicate bench name {name!r}: already registered from "
+                f"{existing.source}, re-registered from {source}"
+            )
+        REGISTRY[name] = BenchSpec(
+            name=name,
+            func=func,
+            heavy=heavy,
+            experiment_id=experiment_id,
+            source=source,
+            tags=tuple(tags),
+        )
+        return func
+
+    return deco
+
+
+def benchmarks_dir(explicit=None) -> Path:
+    """Locate the repository's ``benchmarks/`` directory.
+
+    Resolution order: explicit argument, ``REPRO_BENCH_DIR``, the
+    source-tree layout (``src/repro/bench`` -> repo root), then the
+    current working directory and its parents.
+    """
+    candidates: List[Path] = []
+    if explicit is not None:
+        candidates.append(Path(explicit))
+    env = os.environ.get(BENCH_DIR_ENV)
+    if env:
+        candidates.append(Path(env))
+    # src/repro/bench/registry.py -> src/repro/bench -> src/repro -> src -> root
+    candidates.append(Path(__file__).resolve().parents[3] / "benchmarks")
+    cwd = Path.cwd().resolve()
+    candidates.extend(p / "benchmarks" for p in (cwd, *cwd.parents))
+    for cand in candidates:
+        if cand.is_dir() and list(cand.glob("bench_*.py")):
+            return cand
+    raise ConfigurationError(
+        "cannot locate the benchmarks/ directory; set "
+        f"{BENCH_DIR_ENV} or pass an explicit path "
+        f"(tried {[str(c) for c in candidates[:3]]}...)"
+    )
+
+
+def discover(bench_dir=None) -> Dict[str, BenchSpec]:
+    """Import every ``bench_*.py`` so registrations fire; return the registry.
+
+    Modules are loaded once per process under a ``repro_bench_cases.``
+    alias; repeated discovery is a cheap no-op.
+    """
+    directory = benchmarks_dir(bench_dir)
+    # Bench scripts may import their conftest helpers (``from conftest
+    # import fast_mode``), which pytest resolves via rootdir insertion;
+    # mirror that here for the duration of the load.
+    sys_path_entry = str(directory)
+    inserted = sys_path_entry not in sys.path
+    if inserted:
+        sys.path.insert(0, sys_path_entry)
+    try:
+        for path in sorted(directory.glob("bench_*.py")):
+            mod_name = f"repro_bench_cases.{path.stem}"
+            if mod_name in sys.modules:
+                continue
+            spec = importlib.util.spec_from_file_location(mod_name, path)
+            if spec is None or spec.loader is None:  # pragma: no cover
+                raise ConfigurationError(f"cannot load bench module {path}")
+            module = importlib.util.module_from_spec(spec)
+            sys.modules[mod_name] = module
+            try:
+                spec.loader.exec_module(module)
+            except BaseException:
+                del sys.modules[mod_name]
+                raise
+    finally:
+        if inserted and sys_path_entry in sys.path:
+            sys.path.remove(sys_path_entry)
+    return REGISTRY
+
+
+def select(
+    names=None,
+    smoke: bool = True,
+    registry: Optional[Dict[str, BenchSpec]] = None,
+) -> List[BenchSpec]:
+    """Pick the specs a suite run should execute, in name order.
+
+    ``names`` (when given) wins and may include heavy benches; otherwise
+    ``smoke`` drops everything tagged heavy.
+    """
+    registry = REGISTRY if registry is None else registry
+    if names:
+        missing = [n for n in names if n not in registry]
+        if missing:
+            raise ConfigurationError(
+                f"unknown bench name(s) {missing}; registered: "
+                f"{sorted(registry)}"
+            )
+        return [registry[n] for n in sorted(names)]
+    specs = [s for s in registry.values() if not (smoke and s.heavy)]
+    return sorted(specs, key=lambda s: s.name)

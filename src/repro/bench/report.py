@@ -1,0 +1,127 @@
+"""Human-readable views of suite records and comparisons.
+
+The tabular rendering lives in :mod:`repro.reporting` (the same
+machinery that renders experiment tables and provenance sections); this
+module shapes bench data into rows for it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.bench.baseline import SuiteComparison
+from repro.bench.record import SuiteRecord
+from repro.obs.manifest import RunManifest
+from repro.reporting import table_markdown
+
+#: Marker rendered next to a non-ok verdict so greps find regressions.
+_FLAGS = {
+    "perf_regression": " !!",
+    "accuracy_drift": " !!",
+    "failed": " !!",
+    "new_benchmark": " *",
+}
+
+
+def _fmt_s(value: Optional[float]) -> str:
+    return f"{value:.3f}" if isinstance(value, (int, float)) else "--"
+
+
+def _fmt_mv(value: Optional[float]) -> str:
+    return f"{value:.2f}" if isinstance(value, (int, float)) else "--"
+
+
+def comparison_rows(comparison: SuiteComparison) -> List[List[str]]:
+    """One row per bench: verdict, timings, tolerance, IR values."""
+    rows = []
+    for v in comparison.verdicts:
+        delta = ""
+        if v.baseline_wall_s:
+            delta = f"{(v.wall_s / v.baseline_wall_s - 1) * 100:+.0f}%"
+        rows.append(
+            [
+                v.name,
+                v.status + _FLAGS.get(v.status, ""),
+                _fmt_s(v.baseline_wall_s),
+                _fmt_s(v.wall_s),
+                delta or "--",
+                _fmt_s(v.tol_s),
+                _fmt_mv(v.baseline_max_ir_mv),
+                _fmt_mv(v.max_ir_mv),
+            ]
+        )
+    return rows
+
+
+def comparison_to_markdown(
+    comparison: SuiteComparison, title: str = "Benchmark delta"
+) -> str:
+    """The delta table CI prints and archives next to the record."""
+    headers = [
+        "bench",
+        "verdict",
+        "base s",
+        "now s",
+        "delta",
+        "tol s",
+        "base mV",
+        "now mV",
+    ]
+    lines = [f"## {title}", ""]
+    lines.append(table_markdown(headers, comparison_rows(comparison)))
+    counts = ", ".join(
+        f"{status}: {n}" for status, n in sorted(comparison.counts().items())
+    )
+    lines += ["", f"**suite verdict: {comparison.status}** ({counts})"]
+    for v in comparison.verdicts:
+        if v.detail and v.status not in ("ok", "new_benchmark"):
+            lines.append(f"- `{v.name}`: {v.detail}")
+    return "\n".join(lines)
+
+
+def record_summary(record: SuiteRecord) -> str:
+    """One-paragraph text summary of a suite record (CLI output)."""
+    manifest = RunManifest.from_dict(record.manifest)
+    stamp = manifest.summary()
+    ok = sum(1 for e in record.benchmarks if e.status == "ok")
+    failed = len(record.benchmarks) - ok
+    header = (
+        f"suite {record.suite!r}: {ok} ok"
+        + (f", {failed} FAILED" if failed else "")
+        + f" | git {stamp['sha'][:12]}"
+        + (" (dirty)" if stamp.get("dirty") else "")
+        + f" | {stamp['duration_s']:.1f}s total"
+    )
+    rows = [
+        [
+            e.name,
+            e.status,
+            _fmt_s(e.wall_s),
+            _fmt_mv(e.max_ir_mv),
+            str(len(e.anchors)),
+            str(e.counters.get("solver.rhs_solved", 0)),
+        ]
+        for e in record.benchmarks
+    ]
+    table = table_markdown(
+        ["bench", "status", "wall s", "max IR mV", "anchors", "rhs"], rows
+    )
+    return header + "\n" + table
+
+
+def trajectory_rows(records: Sequence[SuiteRecord], name: str) -> List[List[str]]:
+    """One bench's history across records (debugging threshold tuning)."""
+    rows = []
+    for record in records:
+        entry = record.entry(name)
+        if entry is None:
+            continue
+        rows.append(
+            [
+                record.created,
+                str(record.git.get("sha", ""))[:12],
+                _fmt_s(entry.wall_s),
+                _fmt_mv(entry.max_ir_mv),
+            ]
+        )
+    return rows

@@ -7,6 +7,8 @@ Examples::
     repro3d run table9 --full     # full (slow) variant
     repro3d all                   # every experiment, fast variants
     repro3d solve ddr3_off 0-0-0-2 --f2f   # ad-hoc IR solve
+    repro3d bench --smoke         # telemetry suite + regression check
+    repro3d bench --update-baseline        # bless intentional changes
 
 Observability flags (global, any command)::
 
@@ -105,6 +107,86 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     _log.info("  %s", result)
     for die, mv in result.per_die_mv.items():
         _log.info("  %s: %.2f mV", die, mv)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Unified benchmark runner + regression gate (see docs/benchmarks.md)."""
+    from repro.bench import (
+        Thresholds,
+        baseline_path,
+        compare,
+        default_record_path,
+        discover,
+        load_baseline,
+        load_trajectory,
+        run_suite,
+        select,
+        update_baseline,
+    )
+    from repro.bench.baseline import scaled
+    from repro.bench.registry import benchmarks_dir
+    from repro.bench.report import comparison_to_markdown, record_summary
+
+    if args.list_benches:
+        for spec in select(None, smoke=False, registry=discover()):
+            _log.info(
+                "  %-28s %s%s",
+                spec.name,
+                "heavy" if spec.heavy else "smoke",
+                f"  [{spec.harness}]",
+            )
+        return 0
+
+    record = run_suite(
+        names=args.only or None,
+        smoke=not args.full,
+        repeats=args.repeats,
+    )
+    root = benchmarks_dir().parent
+    out = Path(args.out) if args.out else default_record_path(record, root)
+    record.write(out)
+    _log.info("%s", record_summary(record))
+    _log.info("suite record: %s", out)
+    # The trajectory lives next to the emitted record, so a redirected
+    # --out (tests, scratch dirs) never picks up the repo-root history.
+    trajectory_root = out.parent
+
+    base_path = Path(args.baseline) if args.baseline else baseline_path(root)
+    if args.update_baseline:
+        update_baseline(record, base_path)
+        _log.info("baseline updated: %s", base_path)
+        return 0
+    if args.no_compare:
+        return 0
+
+    baseline = load_baseline(base_path)
+    if baseline is None:
+        _log.info(
+            "no baseline at %s -- every bench is new_benchmark; bless one "
+            "with --update-baseline",
+            base_path,
+        )
+        return 0
+    thresholds = scaled(
+        Thresholds(), perf_rel_tol=args.perf_tol, ir_abs_mv=args.ir_tol
+    )
+    comparison = compare(
+        record,
+        baseline,
+        trajectory=load_trajectory(trajectory_root, exclude=(out,)),
+        thresholds=thresholds,
+    )
+    _log.info("\n%s", comparison_to_markdown(comparison))
+    if args.delta_out:
+        Path(args.delta_out).write_text(
+            comparison_to_markdown(comparison) + "\n"
+        )
+    failing = not comparison.ok
+    if failing:
+        _log.warning("bench suite verdict: %s", comparison.status)
+    if args.gate and failing:
+        return 1
     return 0
 
 
@@ -223,6 +305,92 @@ def build_parser() -> argparse.ArgumentParser:
     solve_p.add_argument("--f2f", action="store_true", help="F2F bonding")
     solve_p.add_argument("--wirebond", action="store_true", help="add bond wires")
     solve_p.set_defaults(func=_cmd_solve)
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="run the benchmark suite and gate against the baseline",
+        parents=[common],
+    )
+    mode = bench_p.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--smoke",
+        action="store_true",
+        help="sub-second bench set, fast experiment variants (default)",
+    )
+    mode.add_argument(
+        "--full",
+        action="store_true",
+        help="every registered bench, full experiment variants",
+    )
+    bench_p.add_argument(
+        "--only",
+        nargs="+",
+        metavar="NAME",
+        help="run only the named benches (see --list)",
+    )
+    bench_p.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        metavar="K",
+        help="median-of-K timing per bench (default 1)",
+    )
+    bench_p.add_argument(
+        "--out",
+        metavar="PATH",
+        help="suite record path (default: BENCH_<stamp>_<sha>.json at the "
+        "repo root)",
+    )
+    bench_p.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="baseline record to compare against (default: "
+        "benchmarks/BASELINE.json)",
+    )
+    bench_p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="bless this run as the new committed baseline and exit",
+    )
+    bench_p.add_argument(
+        "--no-compare",
+        action="store_true",
+        help="emit the record without comparing against the baseline",
+    )
+    bench_p.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit nonzero on perf_regression / accuracy_drift / failed "
+        "(the CI mode)",
+    )
+    bench_p.add_argument(
+        "--perf-tol",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="allowed fractional slowdown vs the baseline median "
+        "(default 0.5; raise across machines)",
+    )
+    bench_p.add_argument(
+        "--ir-tol",
+        type=float,
+        default=None,
+        metavar="MV",
+        help="allowed |delta| in max-IR values in mV (default 1e-6; "
+        "raise across BLAS builds)",
+    )
+    bench_p.add_argument(
+        "--delta-out",
+        metavar="PATH",
+        help="also write the markdown delta table to PATH",
+    )
+    bench_p.add_argument(
+        "--list",
+        dest="list_benches",
+        action="store_true",
+        help="list registered benches and exit",
+    )
+    bench_p.set_defaults(func=_cmd_bench)
     return parser
 
 

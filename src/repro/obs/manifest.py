@@ -89,6 +89,26 @@ class RunManifest:
         known = {f for f in MANIFEST_SCHEMA}
         return cls(**{k: v for k, v in data.items() if k in known})
 
+    def summary(self) -> Dict[str, object]:
+        """Compact provenance stamp for embedding in derived artifacts.
+
+        Benchmark suite records (:mod:`repro.bench.record`) embed the
+        full manifest *and* surface this stamp in their reports; any
+        other artifact that wants to say "produced by revision X under
+        configuration Y" without carrying the whole metric payload can
+        use it too.
+        """
+        return {
+            "sha": str(self.git.get("sha", "unknown")),
+            "dirty": bool(self.git.get("dirty")),
+            "created": self.created,
+            "duration_s": self.duration_s,
+            "config_hash": self.config_hash,
+            "workers": self.workers,
+            "python": self.environment.get("python"),
+            "platform": self.environment.get("platform"),
+        }
+
 
 def validate_manifest(data: Mapping[str, object]) -> None:
     """Raise :class:`ConfigurationError` unless ``data`` fits the schema."""

@@ -4,8 +4,16 @@ Counters count events (LU factorizations, cache hits, solved right-hand
 sides); gauges hold the latest value of a level (last solve's relative
 residual norm); histograms summarize a distribution (RHS batch sizes,
 per-state DRAM IR maxima, controller queue depths) as count/total/min/
-max without bucketing -- enough for run manifests and CI artifacts while
-staying one dict-update per observation.
+max plus p50/p95/p99 estimates -- enough for run manifests and CI
+artifacts while staying one dict-update per observation.
+
+Percentiles come from a bounded first-N sample reservoir
+(:data:`HIST_SAMPLE_CAP` values per histogram): exact while a histogram
+holds fewer observations than the cap, an early-sample estimate beyond
+it.  The reservoir rides inside snapshots, so ``diff`` ships a worker's
+new samples back with its delta and ``merge`` folds them into the
+parent -- percentile estimates survive process fan-out the same way the
+counters do.
 
 Snapshots are plain JSON-able dicts.  ``diff`` and ``merge`` exist for
 the parallel executor: a worker snapshots around each task, ships the
@@ -26,6 +34,41 @@ from pathlib import Path
 from typing import Dict, Mapping, Optional
 
 Snapshot = Dict[str, Dict[str, object]]
+
+#: Per-histogram sample-reservoir bound: keeps snapshots and manifests a
+#: few KiB while making percentiles exact for every realistic CI run.
+HIST_SAMPLE_CAP = 512
+
+#: The percentile estimates attached to histogram summaries.
+PERCENTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+#: Derived keys recomputed on read; never merged or diffed directly.
+_DERIVED_KEYS = frozenset(name for name, _ in PERCENTILES)
+
+
+def _quantile(ordered, q: float) -> float:
+    """Linear-interpolation quantile of a pre-sorted, non-empty list."""
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    frac = pos - lo
+    if frac == 0.0:
+        return ordered[lo]
+    return ordered[lo] * (1.0 - frac) + ordered[lo + 1] * frac
+
+
+def _with_percentiles(hist: Dict[str, object]) -> Dict[str, object]:
+    """A read-side copy of a histogram dict with p50/p95/p99 attached."""
+    out = {
+        key: (list(value) if key == "samples" else value)
+        for key, value in hist.items()
+        if key not in _DERIVED_KEYS
+    }
+    samples = sorted(out.get("samples", ()))
+    for name, q in PERCENTILES:
+        out[name] = _quantile(samples, q) if samples else None
+    return out
 
 
 class MetricsRegistry:
@@ -57,12 +100,15 @@ class MetricsRegistry:
                     "total": value,
                     "min": value,
                     "max": value,
+                    "samples": [value],
                 }
             else:
                 h["count"] += 1
                 h["total"] += value
                 h["min"] = min(h["min"], value)
                 h["max"] = max(h["max"], value)
+                if len(h["samples"]) < HIST_SAMPLE_CAP:
+                    h["samples"].append(value)
 
     # -- reading -------------------------------------------------------------
 
@@ -77,7 +123,7 @@ class MetricsRegistry:
     def get_histogram(self, name: str) -> Optional[Dict[str, float]]:
         with self._lock:
             h = self._hists.get(name)
-            return dict(h) if h is not None else None
+            return _with_percentiles(h) if h is not None else None
 
     def snapshot(self) -> Snapshot:
         """JSON-able copy: ``{"counters": ..., "gauges": ..., "histograms": ...}``."""
@@ -85,7 +131,9 @@ class MetricsRegistry:
             return {
                 "counters": dict(self._counters),
                 "gauges": dict(self._gauges),
-                "histograms": {k: dict(v) for k, v in self._hists.items()},
+                "histograms": {
+                    k: _with_percentiles(v) for k, v in self._hists.items()
+                },
             }
 
     # -- cross-process plumbing ----------------------------------------------
@@ -96,7 +144,10 @@ class MetricsRegistry:
 
         Counter and histogram count/total deltas are exact; histogram
         min/max and gauges are taken from ``after`` (a bound, not a
-        delta -- fine for "worst observed" metrics).
+        delta -- fine for "worst observed" metrics).  The sample
+        reservoir is append-only, so the delta's samples (and the
+        percentiles computed from them) are exactly the observations
+        made between the snapshots, until the cap truncates them.
         """
         counters = {
             name: value - before["counters"].get(name, 0)
@@ -108,12 +159,18 @@ class MetricsRegistry:
             prev = before["histograms"].get(name, {"count": 0, "total": 0.0})
             dcount = h["count"] - prev["count"]
             if dcount:
-                hists[name] = {
-                    "count": dcount,
-                    "total": h["total"] - prev["total"],
-                    "min": h["min"],
-                    "max": h["max"],
-                }
+                new_samples = list(
+                    h.get("samples", ())[len(prev.get("samples", ())):]
+                )
+                hists[name] = _with_percentiles(
+                    {
+                        "count": dcount,
+                        "total": h["total"] - prev["total"],
+                        "min": h["min"],
+                        "max": h["max"],
+                        "samples": new_samples,
+                    }
+                )
         return {
             "counters": counters,
             "gauges": dict(after["gauges"]),
@@ -129,14 +186,24 @@ class MetricsRegistry:
                 value = float(value)
                 self._gauges[name] = max(self._gauges.get(name, value), value)
             for name, h in snap.get("histograms", {}).items():
+                incoming = list(h.get("samples", ()))[:HIST_SAMPLE_CAP]
                 mine = self._hists.get(name)
                 if mine is None:
-                    self._hists[name] = dict(h)
+                    self._hists[name] = {
+                        "count": h["count"],
+                        "total": h["total"],
+                        "min": h["min"],
+                        "max": h["max"],
+                        "samples": incoming,
+                    }
                 else:
                     mine["count"] += h["count"]
                     mine["total"] += h["total"]
                     mine["min"] = min(mine["min"], h["min"])
                     mine["max"] = max(mine["max"], h["max"])
+                    room = HIST_SAMPLE_CAP - len(mine["samples"])
+                    if room > 0:
+                        mine["samples"].extend(incoming[:room])
 
     def reset(self) -> None:
         with self._lock:

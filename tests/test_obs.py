@@ -145,6 +145,61 @@ def test_worker_metrics_merge_into_parent(workers):
     assert delta["histograms"]["test.obs.worker_inputs"]["total"] == 6.0
 
 
+def test_histogram_percentiles():
+    r = MetricsRegistry()
+    for v in range(1, 101):
+        r.observe("h", float(v))
+    h = r.get_histogram("h")
+    assert h["p50"] == pytest.approx(50.5)
+    assert h["p95"] == pytest.approx(95.05)
+    assert h["p99"] == pytest.approx(99.01)
+    # Snapshots carry the same estimates plus the sample reservoir.
+    snap = r.snapshot()["histograms"]["h"]
+    assert snap["p50"] == h["p50"]
+    assert len(snap["samples"]) == 100
+
+
+def test_histogram_percentiles_single_value():
+    r = MetricsRegistry()
+    r.observe("h", 7.0)
+    h = r.get_histogram("h")
+    assert h["p50"] == h["p95"] == h["p99"] == 7.0
+
+
+def test_histogram_sample_cap_bounds_reservoir():
+    r = MetricsRegistry()
+    for v in range(obs_metrics.HIST_SAMPLE_CAP + 50):
+        r.observe("h", float(v))
+    h = r.get_histogram("h")
+    assert h["count"] == obs_metrics.HIST_SAMPLE_CAP + 50  # counts stay exact
+    assert len(h["samples"]) == obs_metrics.HIST_SAMPLE_CAP
+    assert h["max"] == float(obs_metrics.HIST_SAMPLE_CAP + 49)  # max stays exact
+
+
+def test_percentiles_survive_diff_and_merge():
+    """Worker-delta percentiles cover only the delta; merge folds them back."""
+    worker = MetricsRegistry()
+    worker.observe("h", 1000.0)  # pre-task observation
+    before = worker.snapshot()
+    for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+        worker.observe("h", v)
+    delta = MetricsRegistry.diff(before, worker.snapshot())
+    d = delta["histograms"]["h"]
+    assert d["count"] == 5
+    assert d["samples"] == [1.0, 2.0, 3.0, 4.0, 5.0]  # delta only
+    assert d["p50"] == 3.0
+
+    parent = MetricsRegistry()
+    parent.observe("h", 10.0)
+    parent.merge(delta)
+    h = parent.get_histogram("h")
+    assert h["count"] == 6
+    assert sorted(h["samples"]) == [1.0, 2.0, 3.0, 4.0, 5.0, 10.0]
+    assert h["p50"] == pytest.approx(3.5)
+    # Derived keys are recomputed, not accumulated, on every read.
+    assert set(h) == {"count", "total", "min", "max", "samples", "p50", "p95", "p99"}
+
+
 def test_residual_norm_gauge_on_known_mesh(ddr3_stack, ddr3_off_bench):
     ddr3_stack.solve_state(ddr3_off_bench.reference_state())
     residual = obs_metrics.get_gauge("solver.residual_norm")
