@@ -179,6 +179,24 @@ def compare(
     return comparison
 
 
+def _drift_attribution(entry, base) -> str:
+    """Classify an IR drift as structural vs. numerical via plan hashes.
+
+    Both records carry the plan hashes their bench solved; if the sets
+    differ, the stack *structure* changed (planner/geometry edit); if
+    they match, the plans are identical and the drift is numerical
+    (assembler/solver arithmetic).  Records predating the field give no
+    attribution.
+    """
+    ours = getattr(entry, "plan_hashes", None)
+    theirs = getattr(base, "plan_hashes", None)
+    if not ours or not theirs:
+        return ""
+    if set(ours) != set(theirs):
+        return " [structural: stack plans changed]"
+    return " [numerical: identical stack plans]"
+
+
 def _accuracy_drift(entry, base, th: Thresholds) -> str:
     """Non-empty description when the physics numbers moved."""
     if entry.max_ir_mv is not None and base.max_ir_mv is not None:
@@ -187,6 +205,7 @@ def _accuracy_drift(entry, base, th: Thresholds) -> str:
             return (
                 f"max IR {base.max_ir_mv:.6f} -> {entry.max_ir_mv:.6f} mV "
                 f"(|delta| {delta:.2e} > {th.ir_abs_mv:.0e})"
+                + _drift_attribution(entry, base)
             )
     base_anchors = {_anchor_key(a): a for a in base.anchors}
     for anchor in entry.anchors:
@@ -204,6 +223,7 @@ def _accuracy_drift(entry, base, th: Thresholds) -> str:
             return (
                 f"anchor {anchor['row']}/{anchor['metric']} deviation "
                 f"{prev_dev:+.4f}% -> {cur_dev:+.4f}%"
+                + _drift_attribution(entry, base)
             )
     return ""
 

@@ -48,6 +48,12 @@ ENTRY_SCHEMA: Dict[str, tuple] = {
     "error": (str, type(None)),
 }
 
+#: Optional per-benchmark entry fields (validated only when present, so
+#: records written before the field existed stay valid).
+OPTIONAL_ENTRY_FIELDS: Dict[str, tuple] = {
+    "plan_hashes": (list,),
+}
+
 #: Allowed per-benchmark statuses.
 ENTRY_STATUSES = ("ok", "failed")
 
@@ -90,6 +96,10 @@ class BenchmarkEntry:
     anchors: List[Dict[str, object]] = field(default_factory=list)
     #: Traceback summary when status == "failed".
     error: Optional[str] = None
+    #: Sorted plan hashes of every stack structure the bench built or
+    #: reused (``plan.touch.*`` counter deltas) -- lets the comparator
+    #: attribute accuracy drift to structural vs. numerical change.
+    plan_hashes: List[str] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -135,8 +145,9 @@ class SuiteRecord:
         validate_record(data)
         known = set(RECORD_SCHEMA)
         kwargs = {k: v for k, v in data.items() if k in known}
+        entry_fields = set(ENTRY_SCHEMA) | set(OPTIONAL_ENTRY_FIELDS)
         kwargs["benchmarks"] = [
-            BenchmarkEntry(**{k: v for k, v in e.items() if k in ENTRY_SCHEMA})
+            BenchmarkEntry(**{k: v for k, v in e.items() if k in entry_fields})
             for e in data["benchmarks"]
         ]
         return cls(**kwargs)
@@ -184,6 +195,13 @@ def validate_record(data: Mapping[str, object]) -> None:
                 if key not in entry:
                     problems.append(f"benchmarks[{i}] missing field {key!r}")
                 elif not isinstance(entry[key], types):
+                    problems.append(
+                        f"benchmarks[{i}].{key} has type "
+                        f"{type(entry[key]).__name__}, expected "
+                        f"{'/'.join(t.__name__ for t in types)}"
+                    )
+            for key, types in OPTIONAL_ENTRY_FIELDS.items():
+                if key in entry and not isinstance(entry[key], types):
                     problems.append(
                         f"benchmarks[{i}].{key} has type "
                         f"{type(entry[key]).__name__}, expected "

@@ -191,6 +191,10 @@ def run_bench(
     entry.wall_s = round(statistics.median(walls), 6)
     entry.peak_rss_kb = _peak_rss_kb()
     entry.counters = dict(sorted(delta.get("counters", {}).items()))
+    # Structural provenance: every stack plan this bench touched.
+    from repro.pdn.plan import plans_from_counters
+
+    entry.plan_hashes = sorted(plans_from_counters(entry.counters))
     ir_hist = delta.get("histograms", {}).get(IR_HIST)
     if ir_hist is not None:
         # The sample reservoir is exact per-interval; the histogram max

@@ -110,6 +110,64 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _plan_for(benchmark_name: str, args: argparse.Namespace):
+    """Plan one benchmark's stack with the CLI's config overrides."""
+    from repro.pdn.stackup import plan_stack
+
+    bench = benchmark(benchmark_name)
+    config = bench.baseline
+    if args.f2f:
+        config = config.with_options(bonding=Bonding.F2F)
+    if args.wirebond:
+        config = config.with_options(wire_bond=True)
+    if args.tsv_count is not None:
+        config = config.with_options(tsv_count=args.tsv_count)
+    return bench, config, plan_stack(bench.stack, config)
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    """Dump or diff declarative stack build plans (docs/architecture.md)."""
+    from repro.pdn.plan import StackPlan
+
+    bench, config, plan = _plan_for(args.benchmark, args)
+
+    if args.diff:
+        if Path(args.diff).is_file():
+            other = StackPlan.from_json(Path(args.diff).read_text())
+            other_label = args.diff
+        else:
+            _, _, other = _plan_for(args.diff, args)
+            other_label = args.diff
+        diff = plan.diff(other)
+        _log.info(
+            "%s (%s) vs %s:", args.benchmark, config.label(), other_label
+        )
+        _log.info("%s", diff.describe())
+        return 0
+
+    if args.out:
+        Path(args.out).write_text(plan.to_json())
+        _log.info("plan written: %s", args.out)
+        return 0
+    if args.json:
+        _log.info("%s", plan.to_json().rstrip("\n"))
+        return 0
+
+    summary = plan.summary()
+    _log.info("%s [%s]", bench.title, config.label())
+    _log.info("  plan hash: %s", summary["plan_hash"])
+    _log.info("  pitch: %.3f mm, %d DRAM dies", plan.pitch, plan.num_dram_dies)
+    _log.info(
+        "  %d ops, %d mesh nodes, %d layers",
+        summary["num_ops"],
+        summary["num_nodes"],
+        len(plan.layer_keys()),
+    )
+    for kind, count in sorted(summary["ops"].items()):
+        _log.info("    %-18s %d", kind, count)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Unified benchmark runner + regression gate (see docs/benchmarks.md)."""
     from repro.bench import (
@@ -305,6 +363,39 @@ def build_parser() -> argparse.ArgumentParser:
     solve_p.add_argument("--f2f", action="store_true", help="F2F bonding")
     solve_p.add_argument("--wirebond", action="store_true", help="add bond wires")
     solve_p.set_defaults(func=_cmd_solve)
+
+    plan_p = sub.add_parser(
+        "plan",
+        help="dump or diff a benchmark's declarative stack build plan",
+        parents=[common],
+    )
+    plan_p.add_argument("benchmark", choices=sorted(all_benchmarks()))
+    plan_p.add_argument("--f2f", action="store_true", help="F2F bonding")
+    plan_p.add_argument(
+        "--wirebond", action="store_true", help="add bond wires"
+    )
+    plan_p.add_argument(
+        "--tsv-count",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the baseline TSV count",
+    )
+    plan_p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full plan JSON instead of the summary",
+    )
+    plan_p.add_argument(
+        "--out", metavar="PATH", help="write the plan JSON to PATH"
+    )
+    plan_p.add_argument(
+        "--diff",
+        metavar="TARGET",
+        help="diff against another benchmark's plan (same overrides) or a "
+        "plan JSON file",
+    )
+    plan_p.set_defaults(func=_cmd_plan)
 
     bench_p = sub.add_parser(
         "bench",

@@ -30,12 +30,24 @@ class Row:
     model: Dict[str, object] = field(default_factory=dict)
 
     def deviation_percent(self, key: str) -> Optional[float]:
-        """Relative deviation of the model from the paper for one metric."""
+        """Relative deviation of the model from the paper for one metric.
+
+        Returns None when either value is non-numeric (bools are
+        rejected: ``True`` is an ``int`` but "deviation from True" is
+        meaningless) and when the paper value is exactly 0 -- relative
+        deviation has no defined denominator there, so a zero anchor is
+        reported without a percentage rather than silently skipped as
+        falsy input.
+        """
         p = self.paper.get(key)
         m = self.model.get(key)
-        if isinstance(p, (int, float)) and isinstance(m, (int, float)) and p:
-            return (m - p) / p * 100.0
-        return None
+        if isinstance(p, bool) or isinstance(m, bool):
+            return None
+        if not isinstance(p, (int, float)) or not isinstance(m, (int, float)):
+            return None
+        if p == 0:
+            return None  # zero denominator: relative deviation undefined
+        return (m - p) / p * 100.0
 
 
 @dataclass

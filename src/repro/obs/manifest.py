@@ -48,6 +48,15 @@ MANIFEST_SCHEMA: Dict[str, tuple] = {
     "extra": (dict,),
 }
 
+#: Optional fields (validated only when present).  Added after schema v1
+#: shipped; absence keeps old manifests -- including those embedded in
+#: committed BENCH records -- valid.
+OPTIONAL_MANIFEST_FIELDS: Dict[str, tuple] = {
+    # ``{plan hash: benchmark name}`` of every stack plan the run built
+    # or reused -- the structural identity behind the run's IR numbers.
+    "plans": (dict,),
+}
+
 
 @dataclass
 class RunManifest:
@@ -67,6 +76,8 @@ class RunManifest:
     timers: Dict[str, object] = field(default_factory=dict)
     trace: Dict[str, object] = field(default_factory=dict)
     extra: Dict[str, object] = field(default_factory=dict)
+    #: Stack plans the run touched: {plan hash: benchmark name}.
+    plans: Dict[str, object] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
     def to_dict(self) -> Dict[str, object]:
@@ -86,7 +97,7 @@ class RunManifest:
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "RunManifest":
         validate_manifest(data)
-        known = {f for f in MANIFEST_SCHEMA}
+        known = set(MANIFEST_SCHEMA) | set(OPTIONAL_MANIFEST_FIELDS)
         return cls(**{k: v for k, v in data.items() if k in known})
 
     def summary(self) -> Dict[str, object]:
@@ -119,6 +130,12 @@ def validate_manifest(data: Mapping[str, object]) -> None:
         elif not isinstance(data[key], types):
             problems.append(
                 f"field {key!r} has type {type(data[key]).__name__}, "
+                f"expected {'/'.join(t.__name__ for t in types)}"
+            )
+    for key, types in OPTIONAL_MANIFEST_FIELDS.items():
+        if key in data and not isinstance(data[key], types):
+            problems.append(
+                f"optional field {key!r} has type {type(data[key]).__name__}, "
                 f"expected {'/'.join(t.__name__ for t in types)}"
             )
     if not problems and data["schema_version"] != SCHEMA_VERSION:
@@ -173,6 +190,22 @@ def default_seeds() -> Dict[str, int]:
     return {"workload": WorkloadConfig().seed}
 
 
+def _plans_of(metrics: Mapping[str, object]) -> Dict[str, object]:
+    """``{plan hash: benchmark}`` from a metrics snapshot's touch counters.
+
+    ``plan.touch.<hash>`` counters survive cross-process metric merges,
+    so a fanned-out sweep's manifest still names every structure its
+    workers solved (hashes the parent never planned label as themselves).
+    """
+    counters = metrics.get("counters")
+    if not isinstance(counters, Mapping) or not counters:
+        return {}
+    # Lazy import: repro.obs must stay importable without repro.pdn.
+    from repro.pdn.plan import plans_from_counters
+
+    return dict(plans_from_counters(counters))
+
+
 def build_manifest(
     experiment_id: str,
     title: str = "",
@@ -197,6 +230,11 @@ def build_manifest(
     from repro.perf.timers import snapshot as timers_snapshot
 
     config = dict(config or {})
+    metrics = dict(
+        metrics_snapshot
+        if metrics_snapshot is not None
+        else _metrics.snapshot()
+    )
     return RunManifest(
         experiment_id=experiment_id,
         title=title,
@@ -212,11 +250,8 @@ def build_manifest(
             "platform": platform.platform(),
             "cpu_count": os.cpu_count(),
         },
-        metrics=dict(
-            metrics_snapshot
-            if metrics_snapshot is not None
-            else _metrics.snapshot()
-        ),
+        metrics=metrics,
+        plans=_plans_of(metrics),
         timers={
             name: {"total_s": total, "count": count}
             for name, (total, count) in sorted(timers_snapshot().items())

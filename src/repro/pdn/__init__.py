@@ -1,11 +1,15 @@
-"""PDN configuration and 3D stack assembly.
+"""PDN configuration and the 3D stack build pipeline.
 
 :class:`PDNConfig` holds the design/packaging knobs of the paper's
-co-optimization space (Table 8); :func:`build_stack` turns a benchmark's
-physical description plus a configuration into a solvable
-:class:`repro.rmesh.StackModel`.
+co-optimization space (Table 8).  Stack construction is a three-stage
+pipeline: :func:`plan_stack` turns a benchmark's physical description
+plus a configuration into a declarative :class:`StackPlan`
+(:mod:`repro.pdn.plan`), :func:`assemble` replays the plan into a
+solvable :class:`repro.rmesh.StackModel` (:mod:`repro.pdn.assemble`),
+and :func:`build_stack` composes the two.
 """
 
+from repro.pdn.assemble import AssembledStack, AssemblySession, assemble
 from repro.pdn.config import (
     Bonding,
     BumpLocation,
@@ -14,7 +18,14 @@ from repro.pdn.config import (
     RDLScope,
     TSVLocation,
 )
-from repro.pdn.stackup import PDNStack, StackSpec, build_stack
+from repro.pdn.plan import StackPlan, observed_plans, record_plan_use
+from repro.pdn.stackup import (
+    PDNStack,
+    StackSpec,
+    build_stack,
+    plan_single_die_stack,
+    plan_stack,
+)
 
 __all__ = [
     "PDNConfig",
@@ -24,6 +35,14 @@ __all__ = [
     "BumpLocation",
     "Mounting",
     "StackSpec",
+    "StackPlan",
     "PDNStack",
+    "AssembledStack",
+    "AssemblySession",
+    "assemble",
     "build_stack",
+    "plan_stack",
+    "plan_single_die_stack",
+    "observed_plans",
+    "record_plan_use",
 ]

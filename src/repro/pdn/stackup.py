@@ -1,11 +1,16 @@
-"""Assemble a full 3D DRAM stack into a solvable resistive network.
+"""Plan a full 3D DRAM stack as a declarative build recipe.
 
 This module is the PDN layout generator + special-route step of the
 paper's CAD flow (Figure 2): given a benchmark's physical description
-(:class:`StackSpec`) and one design point (:class:`PDNConfig`), it builds
+(:class:`StackSpec`) and one design point (:class:`PDNConfig`), it plans
 the meshes for every metal layer of every die, generates PG rings, vias,
-TSV arrays, RDLs, bond wires and C4 fields, and wires them into a
-:class:`repro.rmesh.StackModel`.
+TSV arrays, RDLs, bond wires and C4 fields -- but instead of mutating a
+model directly, it emits a :class:`repro.pdn.plan.StackPlan`: a frozen,
+serializable op sequence that the pure assembler
+(:mod:`repro.pdn.assemble`) replays into a
+:class:`repro.rmesh.StackModel`.  ``build_stack`` composes the two
+stages and is a drop-in for the former monolithic builder, producing a
+bitwise-identical network.
 
 Topology summary (bottom to top):
 
@@ -31,13 +36,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError, SolverError
 from repro.floorplan.blocks import DieFloorplan
 from repro.geometry import Grid2D, Point, Rect
+from repro.pdn.assemble import AssembledStack, assemble
 from repro.pdn.config import (
     Bonding,
     BumpLocation,
@@ -45,6 +51,19 @@ from repro.pdn.config import (
     PDNConfig,
     RDLScope,
     TSVLocation,
+)
+from repro.pdn.plan import (
+    AddLayerOp,
+    AddRDLOp,
+    AnyOp,
+    ConnectAtPointsOp,
+    ConnectUniformOp,
+    GridSpec,
+    StackPlan,
+    SupplyOp,
+    TSVOp,
+    WirebondOp,
+    record_plan_use,
 )
 from repro.pdn.tsv import (
     alignment_detours,
@@ -59,7 +78,6 @@ from repro.perf.timers import timed
 from repro.power.model import DramPowerSpec, LogicPowerSpec
 from repro.power.powermap import PowerMap, logic_power_map
 from repro.power.state import MemoryState
-from repro.rmesh.mesh import LayerMesh
 from repro.rmesh.solve import IRDropResult, StackSolver
 from repro.rmesh.stack import StackModel
 from repro.tech.calibration import (
@@ -68,6 +86,7 @@ from repro.tech.calibration import (
     dram_metal_stack,
     logic_metal_stack,
 )
+from repro.tech.metals import MetalLayer
 from repro.tech.vertical import C4Tech
 
 #: PG ring boost applied to the global PDN layers of every die.
@@ -129,7 +148,13 @@ class StackIRResult:
 
 
 class PDNStack:
-    """A built stack: the network, its solver, and state evaluation."""
+    """A built stack: the network, its solver, and state evaluation.
+
+    When built through the plan/assemble pipeline the stack carries its
+    :class:`StackPlan` and the shared :class:`AssembledStack`; stacks
+    wrapping the same assembled model (same plan hash) share one
+    factorized solver.
+    """
 
     def __init__(
         self,
@@ -140,6 +165,8 @@ class PDNStack:
         dram_grid: Grid2D,
         dram_origin: Point,
         logic_grid: Optional[Grid2D],
+        plan: Optional[StackPlan] = None,
+        assembled: Optional[AssembledStack] = None,
     ) -> None:
         self.model = model
         self.spec = spec
@@ -148,8 +175,37 @@ class PDNStack:
         self.dram_grid = dram_grid
         self.dram_origin = dram_origin
         self.logic_grid = logic_grid
+        self.plan = plan
+        self.assembled = assembled
+
+    @classmethod
+    def from_assembled(
+        cls,
+        spec: StackSpec,
+        config: PDNConfig,
+        tech: TechConstants,
+        plan: StackPlan,
+        assembled: AssembledStack,
+    ) -> "PDNStack":
+        """Wrap an assembled plan; grids are reconstructed from the plan."""
+        return cls(
+            model=assembled.model,
+            spec=spec,
+            config=config,
+            tech=tech,
+            dram_grid=plan.dram_grid.to_grid(),
+            dram_origin=Point(*plan.dram_origin),
+            logic_grid=plan.logic_grid.to_grid() if plan.logic_grid else None,
+            plan=plan,
+            assembled=assembled,
+        )
 
     # -- structure ------------------------------------------------------------
+
+    @property
+    def plan_hash(self) -> Optional[str]:
+        """Content address of the build plan (None for hand-built models)."""
+        return self.plan.plan_hash if self.plan is not None else None
 
     def dram_die_name(self, die: int) -> str:
         """Dies are named dram1 (bottom) .. dramN (top), paper convention."""
@@ -170,7 +226,11 @@ class PDNStack:
     @cached_property
     def solver(self) -> StackSolver:
         """Factorized solver, built on first use and reused for all states
-        (the factorization dominates; per-state solves are back-substitutions)."""
+        (the factorization dominates; per-state solves are back-substitutions).
+        Delegates to the assembled stack when present, so every wrapper of
+        the same plan hash shares one factorization."""
+        if self.assembled is not None:
+            return self.assembled.solver
         return StackSolver(self.model)
 
     # -- evaluation --------------------------------------------------------------
@@ -214,8 +274,8 @@ class PDNStack:
         """Attach stack identity to a solver failure and log it.
 
         Fanned-out workers re-raise through pickling, so this context --
-        benchmark, config label, cache key hash, offending state(s) --
-        is what makes a remote failure diagnosable from logs alone.
+        benchmark, config label, plan hash, offending state(s) -- is
+        what makes a remote failure diagnosable from logs alone.
         """
         from repro.obs.manifest import config_hash_of
 
@@ -225,6 +285,7 @@ class PDNStack:
         exc.add_context(
             spec=self.spec.name,
             config=self.config.label(),
+            plan_hash=self.plan_hash or "none",
             cache_key_hash=config_hash_of(
                 {"spec": repr(self.spec), "config": repr(self.config)}
             ),
@@ -309,59 +370,105 @@ class PDNStack:
 
 
 # ---------------------------------------------------------------------------
-# Builders
+# Planner
 # ---------------------------------------------------------------------------
 
 
-def _add_dram_die(
-    model: StackModel,
+def _mesh_values(grid: Grid2D, layer: MetalLayer, usage: float) -> Tuple[float, float]:
+    """Uniform edge conductances for a layer mesh.
+
+    Exactly the arithmetic of :meth:`repro.rmesh.mesh.LayerMesh.from_layer`
+    (same expressions, same evaluation order) so that an assembled plan is
+    bitwise identical to a directly built mesh.
+    """
+    rho_eff = layer.effective_sheet_res(usage)
+    wx, wy = layer.direction.direction_weights()
+    gx_val = (1.0 / rho_eff) * (grid.dy / grid.dx) * wx
+    gy_val = (1.0 / rho_eff) * (grid.dx / grid.dy) * wy
+    return gx_val, gy_val
+
+
+def _xs_ys(points: Sequence[Point]) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+    return tuple(p.x for p in points), tuple(p.y for p in points)
+
+
+def _plan_dram_die(
+    ops: List[AnyOp],
     die_name: str,
     grid: Grid2D,
     origin: Point,
     config: PDNConfig,
     tech: TechConstants,
 ) -> Dict[str, str]:
-    """Add one DRAM die's three metal meshes and intra-die vias."""
+    """Plan one DRAM die's three metal meshes and intra-die vias."""
     stack = dram_metal_stack(tech)
     usages = {
         "M1": tech.dram_m1_local_usage,
         "M2": config.m2_usage,
         "M3": config.m3_usage,
     }
+    gspec = GridSpec.from_grid(grid)
     keys: Dict[str, str] = {}
     for layer in stack.layers:
-        mesh = LayerMesh.from_layer(grid, layer, usages[layer.name], name=layer.name)
-        if layer.name in ("M2", "M3"):
-            mesh.add_pg_ring(PG_RING_BOOST)
-        keys[layer.name] = model.add_layer(die_name, mesh, origin=origin)
-    model.connect_layers_uniform(keys["M1"], keys["M2"], tech.via_density_local)
-    model.connect_layers_uniform(keys["M2"], keys["M3"], tech.via_density_global)
+        gx, gy = _mesh_values(grid, layer, usages[layer.name])
+        ring = layer.name in ("M2", "M3")
+        key = f"{die_name}/{layer.name}"
+        ops.append(
+            AddLayerOp(
+                die=die_name,
+                key=key,
+                name=layer.name,
+                grid=gspec,
+                origin=(origin.x, origin.y),
+                gx=gx,
+                gy=gy,
+                pg_ring_boost=PG_RING_BOOST if ring else 0.0,
+                pg_ring_rings=1 if ring else 0,
+            )
+        )
+        keys[layer.name] = key
+    ops.append(ConnectUniformOp(keys["M1"], keys["M2"], tech.via_density_local))
+    ops.append(ConnectUniformOp(keys["M2"], keys["M3"], tech.via_density_global))
     return keys
 
 
-def _add_logic_die(
-    model: StackModel,
+def _plan_logic_die(
+    ops: List[AnyOp],
     grid: Grid2D,
     origin: Point,
     tech: TechConstants,
 ) -> Dict[str, str]:
-    """Add the flip-chip logic die: MTOP (package side) up to ML1."""
+    """Plan the flip-chip logic die: MTOP (package side) up to ML1."""
     stack = logic_metal_stack(tech)
     usages = {
         "ML1": tech.logic_m1_usage,
         "ML2": tech.logic_m2_usage,
         "MTOP": tech.logic_mtop_usage,
     }
+    gspec = GridSpec.from_grid(grid)
     keys: Dict[str, str] = {}
     # Flip-chip: MTOP faces the package, so add it first (bottom).
     for layer_name in ("MTOP", "ML2", "ML1"):
         layer = stack.by_name()[layer_name]
-        mesh = LayerMesh.from_layer(grid, layer, usages[layer_name], name=layer_name)
-        if layer_name == "MTOP":
-            mesh.add_pg_ring(PG_RING_BOOST)
-        keys[layer_name] = model.add_layer("logic", mesh, origin=origin)
-    model.connect_layers_uniform(keys["MTOP"], keys["ML2"], tech.via_density_logic)
-    model.connect_layers_uniform(keys["ML2"], keys["ML1"], tech.via_density_logic)
+        gx, gy = _mesh_values(grid, layer, usages[layer_name])
+        ring = layer_name == "MTOP"
+        key = f"logic/{layer_name}"
+        ops.append(
+            AddLayerOp(
+                die="logic",
+                key=key,
+                name=layer_name,
+                grid=gspec,
+                origin=(origin.x, origin.y),
+                gx=gx,
+                gy=gy,
+                pg_ring_boost=PG_RING_BOOST if ring else 0.0,
+                pg_ring_rings=1 if ring else 0,
+            )
+        )
+        keys[layer_name] = key
+    ops.append(ConnectUniformOp(keys["MTOP"], keys["ML2"], tech.via_density_logic))
+    ops.append(ConnectUniformOp(keys["ML2"], keys["ML1"], tech.via_density_logic))
     return keys
 
 
@@ -375,40 +482,57 @@ def _shift(points: Sequence[Point], origin: Point) -> List[Point]:
     return [Point(p.x + origin.x, p.y + origin.y) for p in points]
 
 
-def _add_rdl_layer(
-    model: StackModel,
+def _plan_rdl_layer(
+    ops: List[AnyOp],
     name: str,
     grid: Grid2D,
     origin: Point,
     tech: TechConstants,
 ) -> str:
-    mesh = LayerMesh.from_layer(grid, tech.rdl.as_layer(), tech.rdl.usage, name="RDL")
-    return model.add_layer(name, mesh, origin=origin, key=f"{name}/RDL")
+    gx, gy = _mesh_values(grid, tech.rdl.as_layer(), tech.rdl.usage)
+    key = f"{name}/RDL"
+    ops.append(
+        AddRDLOp(
+            die=name,
+            key=key,
+            name="RDL",
+            grid=GridSpec.from_grid(grid),
+            origin=(origin.x, origin.y),
+            gx=gx,
+            gy=gy,
+        )
+    )
+    return key
 
 
-def build_stack(
+def plan_stack(
     spec: StackSpec,
     config: PDNConfig,
     tech: TechConstants = DEFAULT_TECH,
     pitch: Optional[float] = None,
-) -> PDNStack:
-    """Build the resistive network for one benchmark at one design point."""
-    with timed("stackup.build"):
-        return _build_stack(spec, config, tech, pitch)
+) -> StackPlan:
+    """Plan the resistive network for one benchmark at one design point.
+
+    Pure function of its arguments: no model is built, no cache touched.
+    Configuration errors (e.g. edge TSVs with center bumps but no RDL)
+    surface here, at plan time.
+    """
+    with timed("stackup.plan"):
+        return _plan_stack(spec, config, tech, pitch)
 
 
-def _build_stack(
+def _plan_stack(
     spec: StackSpec,
     config: PDNConfig,
     tech: TechConstants,
     pitch: Optional[float],
-) -> PDNStack:
+) -> StackPlan:
     pitch = pitch or tech.mesh_pitch
     fp = spec.dram_floorplan
     dram_grid = Grid2D.from_pitch(fp.outline, pitch)
     on_chip = spec.mounting is Mounting.ON_CHIP
 
-    model = StackModel()
+    ops: List[AnyOp] = []
 
     # --- placement: logic at (0,0); DRAM centered over it -------------------
     if on_chip:
@@ -426,33 +550,52 @@ def _build_stack(
         dram_origin = Point(0.0, 0.0)
 
     # --- package plane -------------------------------------------------------
-    plane_mesh = LayerMesh(
-        grid=Grid2D(overall, 1, 1),
-        gx=np.zeros((1, 0)),
-        gy=np.zeros((0, 1)),
-        name="plane",
+    plane_key = "package/plane"
+    ops.append(
+        AddLayerOp(
+            die="package",
+            key=plane_key,
+            name="plane",
+            grid=GridSpec.from_grid(Grid2D(overall, 1, 1)),
+            origin=(0.0, 0.0),
+            gx=0.0,
+            gy=0.0,
+            role="plane",
+        )
     )
-    plane_key = model.add_layer("package", plane_mesh, key="package/plane")
-    model.connect_supply_at_points(
-        plane_key, [overall.center], 1.0 / tech.package_spreading_res
+    ops.append(
+        SupplyOp(
+            key=plane_key,
+            xs=(overall.center.x,),
+            ys=(overall.center.y,),
+            conductances=(1.0 / tech.package_spreading_res,),
+        )
     )
 
     # --- logic die ------------------------------------------------------------
     logic_keys: Optional[Dict[str, str]] = None
     if on_chip:
         assert logic_grid is not None
-        logic_keys = _add_logic_die(model, logic_grid, Point(0.0, 0.0), tech)
+        logic_keys = _plan_logic_die(ops, logic_grid, Point(0.0, 0.0), tech)
         c4_points = _c4_field_points(spec.logic_floorplan.outline, tech.c4.pitch)
-        model.connect_layers_at_points(
-            plane_key, logic_keys["MTOP"], c4_points, tech.c4.conductance
+        xs, ys = _xs_ys(c4_points)
+        ops.append(
+            ConnectAtPointsOp(
+                plane_key,
+                logic_keys["MTOP"],
+                xs,
+                ys,
+                (float(tech.c4.conductance),) * len(c4_points),
+                role="c4",
+            )
         )
 
     # --- DRAM dies --------------------------------------------------------------
     dram_keys: List[Dict[str, str]] = []
     for die in range(spec.num_dram_dies):
         dram_keys.append(
-            _add_dram_die(
-                model, f"dram{die + 1}", dram_grid, dram_origin, config, tech
+            _plan_dram_die(
+                ops, f"dram{die + 1}", dram_grid, dram_origin, config, tech
             )
         )
 
@@ -490,6 +633,8 @@ def _build_stack(
             tsv_points, align_outline, align_c4, config.tsv_aligned
         )
 
+    tsv_xs, tsv_ys = _xs_ys(tsv_points)
+    bump_xs, bump_ys = _xs_ys(bump_points)
     rdl_all = config.rdl is RDLScope.ALL
     rdl_bottom = config.rdl.enabled
 
@@ -499,6 +644,7 @@ def _build_stack(
         # TSV landing pads tie into the logic grid at the intermediate
         # level: through the logic PDN, so the dies' noises couple
         # (section 3.1).
+        assert logic_keys is not None
         below_key = logic_keys["ML2"]
         # Logic TSV + interface TSV + backside landing / tie-in resistance.
         through_res = 2.0 * tech.tsv.resistance + tech.logic_landing_res
@@ -513,22 +659,35 @@ def _build_stack(
         base_c4 = tech.c4.resistance
 
     if rdl_bottom:
-        rdl0 = _add_rdl_layer(model, "dram1", dram_grid, dram_origin, tech)
-        model.connect_layers_at_points(
-            below_key,
-            rdl0,
-            bump_points,
-            [1.0 / (base_c4 + MICROBUMP_RES + d) for d in detours],
+        rdl0 = _plan_rdl_layer(ops, "dram1", dram_grid, dram_origin, tech)
+        ops.append(
+            ConnectAtPointsOp(
+                below_key,
+                rdl0,
+                bump_xs,
+                bump_ys,
+                tuple(1.0 / (base_c4 + MICROBUMP_RES + d) for d in detours),
+                role="bump",
+            )
         )
-        model.connect_layers_at_points(
-            rdl0, bottom_key, tsv_points, 1.0 / through_res
+        ops.append(
+            TSVOp(
+                rdl0,
+                bottom_key,
+                tsv_xs,
+                tsv_ys,
+                (float(1.0 / through_res),) * len(tsv_points),
+            )
         )
     else:
-        model.connect_layers_at_points(
-            below_key,
-            bottom_key,
-            bump_points,
-            [1.0 / (base_c4 + through_res + d) for d in detours],
+        ops.append(
+            TSVOp(
+                below_key,
+                bottom_key,
+                bump_xs,
+                bump_ys,
+                tuple(1.0 / (base_c4 + through_res + d) for d in detours),
+            )
         )
 
     # --- inter-die interfaces -------------------------------------------------------
@@ -537,7 +696,11 @@ def _build_stack(
         upper = dram_keys[die + 1]["M3"]
         f2f_pair = config.bonding is Bonding.F2F and die % 2 == 0
         if f2f_pair:
-            model.connect_layers_uniform(lower, upper, tech.f2f.conductance_per_mm2)
+            ops.append(
+                ConnectUniformOp(
+                    lower, upper, tech.f2f.conductance_per_mm2, role="f2f"
+                )
+            )
             continue
         # F2B everywhere, or the B2B interface between F2F pairs.
         if config.bonding is Bonding.F2F:
@@ -548,16 +711,35 @@ def _build_stack(
             # Between identical DRAM dies the face bumps sit directly under
             # the TSVs; the center-bump constraint only exists at the host
             # interface (JEDEC pads), so no lateral zigzag happens here.
-            rdl_key = _add_rdl_layer(model, f"dram{die + 2}", dram_grid, dram_origin, tech)
-            model.connect_layers_at_points(
-                lower, rdl_key, tsv_points, 1.0 / (MICROBUMP_RES + link_res / 2.0)
+            rdl_key = _plan_rdl_layer(ops, f"dram{die + 2}", dram_grid, dram_origin, tech)
+            ops.append(
+                ConnectAtPointsOp(
+                    lower,
+                    rdl_key,
+                    tsv_xs,
+                    tsv_ys,
+                    (float(1.0 / (MICROBUMP_RES + link_res / 2.0)),) * len(tsv_points),
+                    role="bump",
+                )
             )
-            model.connect_layers_at_points(
-                rdl_key, upper, tsv_points, 1.0 / (link_res / 2.0)
+            ops.append(
+                TSVOp(
+                    rdl_key,
+                    upper,
+                    tsv_xs,
+                    tsv_ys,
+                    (float(1.0 / (link_res / 2.0)),) * len(tsv_points),
+                )
             )
         else:
-            model.connect_layers_at_points(
-                lower, upper, tsv_points, 1.0 / link_res
+            ops.append(
+                TSVOp(
+                    lower,
+                    upper,
+                    tsv_xs,
+                    tsv_ys,
+                    (float(1.0 / link_res),) * len(tsv_points),
+                )
             )
 
     # --- wire bonding -----------------------------------------------------------------
@@ -565,20 +747,119 @@ def _build_stack(
         pads = _shift(
             wirebond_points(fp.outline, tech.wirebond.groups_per_edge), dram_origin
         )
+        pad_xs, pad_ys = _xs_ys(pads)
         top_key = dram_keys[-1]["M3"]
-        model.connect_layers_at_points(
-            plane_key, top_key, pads, tech.wirebond.group_conductance
+        ops.append(
+            WirebondOp(
+                plane_key,
+                top_key,
+                pad_xs,
+                pad_ys,
+                (float(tech.wirebond.group_conductance),) * len(pads),
+            )
         )
 
-    return PDNStack(
-        model=model,
-        spec=spec,
-        config=config,
-        tech=tech,
-        dram_grid=dram_grid,
-        dram_origin=dram_origin,
-        logic_grid=logic_grid,
+    return StackPlan(
+        benchmark=spec.name,
+        pitch=float(pitch),
+        num_dram_dies=spec.num_dram_dies,
+        dram_grid=GridSpec.from_grid(dram_grid),
+        dram_origin=(dram_origin.x, dram_origin.y),
+        logic_grid=GridSpec.from_grid(logic_grid) if logic_grid is not None else None,
+        ops=tuple(ops),
     )
+
+
+def plan_single_die_stack(
+    floorplan: DieFloorplan,
+    config: Optional[PDNConfig] = None,
+    tech: TechConstants = DEFAULT_TECH,
+    pitch: Optional[float] = None,
+    pad_resistance: float = 0.09,
+    pad_count: int = 40,
+) -> StackPlan:
+    """Plan a conventional 2D (single-die) DRAM for the Figure 4 validation.
+
+    The 2D part is wire-bonded through a row of pads along the center
+    spine, the standard DDR3 package style.
+    """
+    config = config or PDNConfig()
+    pitch = pitch or tech.mesh_pitch
+    grid = Grid2D.from_pitch(floorplan.outline, pitch)
+    ops: List[AnyOp] = []
+
+    plane_key = "package/plane"
+    ops.append(
+        AddLayerOp(
+            die="package",
+            key=plane_key,
+            name="plane",
+            grid=GridSpec.from_grid(Grid2D(floorplan.outline, 1, 1)),
+            origin=(0.0, 0.0),
+            gx=0.0,
+            gy=0.0,
+            role="plane",
+        )
+    )
+    ops.append(
+        SupplyOp(
+            key=plane_key,
+            xs=(floorplan.outline.center.x,),
+            ys=(floorplan.outline.center.y,),
+            conductances=(1.0 / tech.package_spreading_res,),
+        )
+    )
+    keys = _plan_dram_die(ops, "dram1", grid, Point(0.0, 0.0), config, tech)
+
+    # Pad ring around the die (power pads + package ring redistribution,
+    # the Encounter-style PG ring hookup of the generated 2D design).
+    ring = floorplan.outline.inset(0.20)
+    perimeter = 2.0 * (ring.width + ring.height)
+    pads = list(ring.edge_points(perimeter / pad_count))[:pad_count]
+    pad_xs, pad_ys = _xs_ys(pads)
+    ops.append(
+        ConnectAtPointsOp(
+            plane_key,
+            keys["M3"],
+            pad_xs,
+            pad_ys,
+            (float(1.0 / pad_resistance),) * len(pads),
+            role="pad",
+        )
+    )
+
+    return StackPlan(
+        benchmark="ddr3_2d",
+        pitch=float(pitch),
+        num_dram_dies=1,
+        dram_grid=GridSpec.from_grid(grid),
+        dram_origin=(0.0, 0.0),
+        logic_grid=None,
+        ops=tuple(ops),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Build entry points (plan + assemble composed)
+# ---------------------------------------------------------------------------
+
+
+def build_stack(
+    spec: StackSpec,
+    config: PDNConfig,
+    tech: TechConstants = DEFAULT_TECH,
+    pitch: Optional[float] = None,
+) -> PDNStack:
+    """Build the resistive network for one benchmark at one design point.
+
+    Drop-in for the former monolithic builder: plans, assembles, and
+    wraps.  Results are bitwise identical to the pre-plan pipeline.
+    """
+    with timed("stackup.build"):
+        plan = plan_stack(spec, config, tech=tech, pitch=pitch)
+        assembled = assemble(plan)
+        record_plan_use(plan)
+        return PDNStack.from_assembled(spec, config, tech, plan, assembled)
 
 
 def build_single_die_stack(
@@ -590,51 +871,27 @@ def build_single_die_stack(
     pad_resistance: float = 0.09,
     pad_count: int = 40,
 ) -> PDNStack:
-    """A conventional 2D (single-die) DRAM for the Figure 4 validation.
+    """Build the conventional 2D DRAM (Figure 4 validation).
 
-    The 2D part is wire-bonded through a row of pads along the center
-    spine, the standard DDR3 package style.  Reuses the PDNStack API with
-    a one-die "stack".
+    Reuses the PDNStack API with a one-die "stack".
     """
     config = config or PDNConfig()
-    pitch = pitch or tech.mesh_pitch
-    grid = Grid2D.from_pitch(floorplan.outline, pitch)
-    model = StackModel()
-
-    plane_mesh = LayerMesh(
-        grid=Grid2D(floorplan.outline, 1, 1),
-        gx=np.zeros((1, 0)),
-        gy=np.zeros((0, 1)),
-        name="plane",
-    )
-    plane_key = model.add_layer("package", plane_mesh, key="package/plane")
-    model.connect_supply_at_points(
-        plane_key, [floorplan.outline.center], 1.0 / tech.package_spreading_res
-    )
-    keys = _add_dram_die(model, "dram1", grid, Point(0.0, 0.0), config, tech)
-
-    # Pad ring around the die (power pads + package ring redistribution,
-    # the Encounter-style PG ring hookup of the generated 2D design).
-    ring = floorplan.outline.inset(0.20)
-    perimeter = 2.0 * (ring.width + ring.height)
-    pads = list(ring.edge_points(perimeter / pad_count))[:pad_count]
-    model.connect_layers_at_points(
-        plane_key, keys["M3"], pads, 1.0 / pad_resistance
-    )
-
-    spec = StackSpec(
-        name="ddr3_2d",
-        dram_floorplan=floorplan,
-        dram_power=power,
-        num_dram_dies=1,
-        mounting=Mounting.OFF_CHIP,
-    )
-    return PDNStack(
-        model=model,
-        spec=spec,
-        config=config,
-        tech=tech,
-        dram_grid=grid,
-        dram_origin=Point(0.0, 0.0),
-        logic_grid=None,
-    )
+    with timed("stackup.build"):
+        plan = plan_single_die_stack(
+            floorplan,
+            config,
+            tech=tech,
+            pitch=pitch,
+            pad_resistance=pad_resistance,
+            pad_count=pad_count,
+        )
+        assembled = assemble(plan)
+        record_plan_use(plan)
+        spec = StackSpec(
+            name="ddr3_2d",
+            dram_floorplan=floorplan,
+            dram_power=power,
+            num_dram_dies=1,
+            mounting=Mounting.OFF_CHIP,
+        )
+        return PDNStack.from_assembled(spec, config, tech, plan, assembled)

@@ -22,9 +22,12 @@ trace span, and the caches/fan-out report into the metrics registry.
 
 from repro.perf.cache import (
     StackCache,
+    assembled_cache,
+    assembly_session,
     cache_stats,
     cached_build_stack,
     clear_caches,
+    plan_cache,
     power_map_cache_enabled,
     stack_cache,
 )
@@ -42,12 +45,15 @@ from repro.perf.timers import (
 __all__ = [
     "StackCache",
     "add_time",
+    "assembled_cache",
+    "assembly_session",
     "cache_stats",
     "cached_build_stack",
     "clear_caches",
     "diff_snapshots",
     "map_design_points",
     "merge_snapshot",
+    "plan_cache",
     "power_map_cache_enabled",
     "report",
     "reset_timers",

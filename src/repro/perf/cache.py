@@ -1,21 +1,34 @@
-"""Keyed LRU caches for built stacks and rasterized power maps.
+"""Keyed LRU caches for plans, assembled stacks, and power maps.
 
-Two caches, both process-global:
+The build pipeline is config -> plan -> assemble -> solve
+(:mod:`repro.pdn.plan`, :mod:`repro.pdn.assemble`), and each stage has
+its own process-global cache:
 
-* **Stack cache** -- maps ``(stack spec, PDNConfig, tech, pitch)`` to a
-  built :class:`~repro.pdn.stackup.PDNStack`.  Because a ``PDNStack``
-  lazily holds its SuperLU factorization, a cache hit skips mesh
-  assembly *and* factorization -- exactly the work that dominates
-  repeated evaluations of the same configuration (baseline
-  re-evaluation, fig9 sweeps, Table 9 verification solves).
+* **Plan cache** -- maps ``(stack spec, PDNConfig, tech, pitch)`` to a
+  planned :class:`~repro.pdn.plan.StackPlan` (planning is cheap but not
+  free; sweeps revisit configs).
+* **Assembled cache** -- *content-addressed*: maps a plan's
+  :attr:`~repro.pdn.plan.StackPlan.plan_hash` to the shared
+  :class:`~repro.pdn.assemble.AssembledStack`.  Because the assembled
+  stack lazily holds its SuperLU factorization, any two configurations
+  that resolve to the same physical network -- regardless of how they
+  were expressed -- share one model and one factorization.
+* **Stack cache** -- maps ``(plan hash, spec, config)`` to the
+  :class:`~repro.pdn.stackup.PDNStack` wrapper (specs carry power
+  descriptions the plan deliberately excludes, so wrappers are keyed
+  separately from the physics they share).
 * **Power-map cache** -- maps ``(floorplan, power spec, state, die,
   grid, vdd)`` to the rasterized per-node current map.  Design-space
   sampling evaluates hundreds of *different* stacks against the *same*
   reference state on the *same* grid; rasterization is ~30% of each
   sample, and this cache collapses it to one rasterization per state.
 
-Keys are built from ``repr`` of the participating (frozen or
-effectively-immutable) dataclasses, which is deterministic and covers
+Assembly runs under a shared :class:`~repro.pdn.assemble.AssemblySession`,
+so even *distinct* plans (a TSV-count sweep) reuse the unchanged layer
+meshes and link blocks of previously assembled ones.
+
+Plan/power-map keys are built from ``repr`` of the participating (frozen
+or effectively-immutable) dataclasses, which is deterministic and covers
 every physical field -- two specs that print the same build the same
 network.  Entries are evicted least-recently-used.
 """
@@ -97,18 +110,22 @@ class LRUCache:
 
 
 class StackCache(LRUCache):
-    """LRU of built (and lazily factorized) stacks.
+    """LRU of content-addressed stack wrappers.
 
-    Factorizations hold dense L/U factors, so the default capacity is
-    deliberately modest; raise it for sweeps that revisit many configs.
+    Keys are ``(plan hash, spec repr, config repr)``: the plan hash is
+    the physics identity, the spec/config reprs distinguish wrappers
+    whose power descriptions differ over the same network.
+    Factorizations hold dense L/U factors (in the assembled cache), so
+    the default capacity is deliberately modest; raise it for sweeps
+    that revisit many configs.
     """
 
     def __init__(self, maxsize: int = 32) -> None:
         super().__init__(maxsize, name="stack")
 
     @staticmethod
-    def key(spec: Any, config: Any, tech: Any, pitch: Optional[float]) -> Tuple:
-        return (repr(spec), repr(config), repr(tech), pitch)
+    def key(plan_hash: str, spec: Any, config: Any) -> Tuple:
+        return (plan_hash, repr(spec), repr(config))
 
     def build(
         self,
@@ -117,17 +134,36 @@ class StackCache(LRUCache):
         tech: Any = None,
         pitch: Optional[float] = None,
     ) -> "PDNStack":
-        """``build_stack`` with memoization; same signature semantics."""
+        """``build_stack`` with staged memoization; same signature semantics.
+
+        Resolution order: plan cache (keyed by spec/config/tech/pitch) ->
+        stack cache (keyed by plan hash) -> assembled cache (content
+        addressed) -> incremental assembly under the shared session.
+        """
         # Imported lazily: stackup imports this module for the power-map
         # cache, so a module-level import would be circular.
-        from repro.pdn.stackup import build_stack
+        from repro.pdn.plan import record_plan_use
+        from repro.pdn.stackup import PDNStack, plan_stack
         from repro.tech.calibration import DEFAULT_TECH
 
         tech = tech or DEFAULT_TECH
-        key = self.key(spec, config, tech, pitch)
+        pkey = (repr(spec), repr(config), repr(tech), pitch)
+        plan = plan_cache.get(pkey)
+        if plan is None:
+            plan = plan_stack(spec, config, tech=tech, pitch=pitch)
+            plan_cache.put(pkey, plan)
+        record_plan_use(plan)
+        key = self.key(plan.plan_hash, spec, config)
         stack = self.get(key)
         if stack is None:
-            stack = build_stack(spec, config, tech=tech, pitch=pitch)
+            assembled = assembled_cache.get(plan.plan_hash)
+            if assembled is None:
+                from repro.pdn.assemble import assemble
+
+                with timed("stackup.build"):
+                    assembled = assemble(plan, session=assembly_session())
+                assembled_cache.put(plan.plan_hash, assembled)
+            stack = PDNStack.from_assembled(spec, config, tech, plan, assembled)
             self.put(key, stack)
         return stack
 
@@ -135,8 +171,27 @@ class StackCache(LRUCache):
 #: Process-global stack cache used by the cached build entry point.
 stack_cache = StackCache()
 
+#: Process-global plan memo: (spec, config, tech, pitch) reprs -> StackPlan.
+plan_cache = LRUCache(maxsize=256, name="plan")
+
+#: Process-global content-addressed cache: plan hash -> AssembledStack.
+assembled_cache = LRUCache(maxsize=32, name="assembled")
+
 #: Process-global power-map cache (value: the (ny, nx) current array).
 power_map_cache = LRUCache(maxsize=256, name="power_map")
+
+#: Lazily created shared assembly session (incremental sweep reassembly).
+_assembly_session: Optional[Any] = None
+
+
+def assembly_session():
+    """The process-global :class:`~repro.pdn.assemble.AssemblySession`."""
+    global _assembly_session
+    if _assembly_session is None:
+        from repro.pdn.assemble import AssemblySession
+
+        _assembly_session = AssemblySession()
+    return _assembly_session
 
 
 def cached_build_stack(
@@ -199,14 +254,20 @@ def power_map_cache_enabled(enabled: bool) -> None:
 
 
 def clear_caches() -> None:
-    """Drop all cached stacks and power maps (frees factorizations)."""
+    """Drop all cached plans, stacks, and power maps (frees factorizations)."""
     stack_cache.clear()
+    plan_cache.clear()
+    assembled_cache.clear()
     power_map_cache.clear()
+    if _assembly_session is not None:
+        _assembly_session.clear()
 
 
 def cache_stats() -> Dict[str, Dict[str, int]]:
     """Hit/miss/eviction counters of every process-global cache."""
     return {
         "stack": stack_cache.stats(),
+        "plan": plan_cache.stats(),
+        "assembled": assembled_cache.stats(),
         "power_map": power_map_cache.stats(),
     }

@@ -131,17 +131,36 @@ class StackModel:
         """
         if isinstance(conductances, (int, float)):
             conductances = [float(conductances)] * len(points)
-        if len(conductances) != len(points):
+        xs = np.fromiter((p.x for p in points), dtype=float, count=len(points))
+        ys = np.fromiter((p.y for p in points), dtype=float, count=len(points))
+        self.connect_layers_at_xy(key_a, key_b, xs, ys, conductances)
+
+    def connect_layers_at_xy(
+        self,
+        key_a: str,
+        key_b: str,
+        xs: "np.ndarray | Sequence[float]",
+        ys: "np.ndarray | Sequence[float]",
+        conductances: Sequence[float],
+    ) -> None:
+        """Coordinate-array form of :meth:`connect_layers_at_points`.
+
+        Takes x/y arrays plus a per-point conductance sequence -- the
+        shape a replayed :class:`~repro.pdn.plan.ConnectAtPointsOp`
+        carries -- and produces the identical link list the point-based
+        method would.
+        """
+        if len(conductances) != len(xs):
             raise MeshError(
-                f"{len(points)} points but {len(conductances)} conductances"
+                f"{len(xs)} points but {len(conductances)} conductances"
             )
-        if not points:
+        if not len(xs):
             return
         for g in conductances:
             if g <= 0.0:
                 raise MeshError(f"link conductance must be positive, got {g}")
-        xs = np.fromiter((p.x for p in points), dtype=float, count=len(points))
-        ys = np.fromiter((p.y for p in points), dtype=float, count=len(points))
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
         nodes_a = self._nodes_at_xy(key_a, xs, ys)
         nodes_b = self._nodes_at_xy(key_b, xs, ys)
         self._links.extend(
@@ -188,17 +207,29 @@ class StackModel:
         """Link layer nodes to the ideal supply (package) at given points."""
         if isinstance(conductances, (int, float)):
             conductances = [float(conductances)] * len(points)
-        if len(conductances) != len(points):
+        xs = np.fromiter((p.x for p in points), dtype=float, count=len(points))
+        ys = np.fromiter((p.y for p in points), dtype=float, count=len(points))
+        self.connect_supply_at_xy(key, xs, ys, conductances)
+
+    def connect_supply_at_xy(
+        self,
+        key: str,
+        xs: "np.ndarray | Sequence[float]",
+        ys: "np.ndarray | Sequence[float]",
+        conductances: Sequence[float],
+    ) -> None:
+        """Coordinate-array form of :meth:`connect_supply_at_points`."""
+        if len(conductances) != len(xs):
             raise MeshError(
-                f"{len(points)} points but {len(conductances)} conductances"
+                f"{len(xs)} points but {len(conductances)} conductances"
             )
-        if not points:
+        if not len(xs):
             return
         for g in conductances:
             if g <= 0.0:
                 raise MeshError(f"supply conductance must be positive, got {g}")
-        xs = np.fromiter((p.x for p in points), dtype=float, count=len(points))
-        ys = np.fromiter((p.y for p in points), dtype=float, count=len(points))
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
         nodes = self._nodes_at_xy(key, xs, ys)
         self._supply.extend(
             SupplyLink(int(n), g) for n, g in zip(nodes, conductances)
@@ -258,6 +289,39 @@ class StackModel:
 
     def has_supply(self) -> bool:
         return bool(self._supply)
+
+    # -- link blocks (incremental-reassembly support) ---------------------------
+
+    @property
+    def link_count(self) -> int:
+        """Number of vertical links added so far."""
+        return len(self._links)
+
+    @property
+    def supply_count(self) -> int:
+        """Number of supply links added so far."""
+        return len(self._supply)
+
+    def links_range(self, start: int, stop: int) -> "tuple[VerticalLink, ...]":
+        """The vertical links added between two :attr:`link_count` marks."""
+        return tuple(self._links[start:stop])
+
+    def supply_range(self, start: int, stop: int) -> "tuple[SupplyLink, ...]":
+        """The supply links added between two :attr:`supply_count` marks."""
+        return tuple(self._supply[start:stop])
+
+    def extend_links(self, links: Sequence[VerticalLink]) -> None:
+        """Append pre-computed vertical links (cached replay blocks).
+
+        Callers guarantee the links were computed against layers with the
+        same offsets/grids/origins this model has -- the assembler keys
+        its cache on exactly that.
+        """
+        self._links.extend(links)
+
+    def extend_supply(self, links: Sequence[SupplyLink]) -> None:
+        """Append pre-computed supply links (cached replay blocks)."""
+        self._supply.extend(links)
 
     def vertical_links(self) -> List[VerticalLink]:
         """All vertical links (TSVs, F2F vias, bond wires, via stitching)."""

@@ -35,3 +35,46 @@ class TestCommands:
         assert main(["solve", "ddr3_off", "0-0-2b-2a", "--f2f", "--wirebond"]) == 0
         out = capsys.readouterr().out
         assert "BD=F2F" in out and "WB=Y" in out
+
+
+class TestPlanCommand:
+    def test_summary(self, capsys):
+        assert main(["plan", "ddr3_off"]) == 0
+        out = capsys.readouterr().out
+        assert "plan hash:" in out
+        assert "add_layer" in out and "tsv" in out
+
+    def test_json_output_is_a_valid_plan(self, capsys):
+        from repro.pdn.plan import StackPlan
+
+        assert main(["plan", "ddr3_off", "--json"]) == 0
+        plan = StackPlan.from_json(capsys.readouterr().out)
+        assert plan.benchmark == "ddr3_off"
+
+    def test_out_then_diff_against_file(self, capsys, tmp_path):
+        from repro.pdn.plan import StackPlan
+
+        path = tmp_path / "base.json"
+        assert main(["plan", "ddr3_off", "--out", str(path)]) == 0
+        baseline = StackPlan.from_json(path.read_text())
+        capsys.readouterr()
+        # An override diffed against the saved file shows the TSV edit.
+        assert main(
+            ["plan", "ddr3_off", "--tsv-count", "240", "--diff", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ops unchanged" in out
+        assert baseline.plan_hash in out
+
+    def test_diff_against_benchmark(self, capsys):
+        assert main(["plan", "ddr3_off", "--diff", "wideio"]) == 0
+        out = capsys.readouterr().out
+        assert "ops unchanged" in out
+
+    def test_diff_identical(self, capsys):
+        assert main(["plan", "ddr3_off", "--diff", "ddr3_off"]) == 0
+        assert "plans identical" in capsys.readouterr().out
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "bogus"])

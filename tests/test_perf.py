@@ -117,7 +117,7 @@ def test_lru_eviction_and_stats():
     stats = lru.stats()
     assert stats["evictions"] == 1
     assert stats["size"] == 2
-    assert cache_stats().keys() == {"stack", "power_map"}
+    assert cache_stats().keys() == {"stack", "plan", "assembled", "power_map"}
 
 
 def test_lru_rejects_bad_maxsize():
