@@ -1,0 +1,351 @@
+"""Solver backends: equivalence, warm-start speedup, and mesh scaling.
+
+Three legs over the pluggable backends of :mod:`repro.rmesh.backends`:
+
+* **equivalence** -- every benchmark stack's reference state solved with
+  ``direct``, ``cg``, and ``amg`` (which falls back to cg when pyamg is
+  absent); max-IR must agree with direct within ``EQUIV_RTOL`` relative.
+* **warm-start** -- a fig5-style TSV-count sweep over off-chip DDR3 at a
+  finer-than-production pitch, solved twice with the cg backend: cold
+  (a fresh solver, hence a fresh factor preconditioner, per point) and
+  warm (one :class:`repro.pdn.sweep.SweepSolveSession` carrying the
+  preconditioner and previous solution across neighbors).  The session
+  must be >= ``MIN_WARM_SPEEDUP`` faster and numerically agree with the
+  direct path.
+* **scaling** -- a synthetic SRAM-PG-style workload
+  (:mod:`repro.rmesh.workloads`) at >= ``SCALE_FACTOR``x the nodes of
+  the largest direct-solved benchmark stack (Wide I/O), solved with
+  matrix-free Jacobi-CG.  Setup + solve must not exceed the *direct*
+  setup + solve wall time of the 4x-smaller Wide I/O stack -- the
+  "reference-resolution solves become routine" claim, gated.
+
+Numbers land in the ``bench.solver_scaling.*`` gauges and a JSON
+artifact under ``benchmarks/results/``.  Run directly
+(``python benchmarks/bench_solver_scaling.py``) or under pytest;
+``REPRO_BENCH_SMOKE=1`` shortens the sweep and skips the big-mesh
+direct cross-check.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.bench import register_bench
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Max-IR relative tolerance between iterative and direct backends
+#: (acceptance criterion; observed agreement is ~1e-12).
+EQUIV_RTOL = 1e-6
+
+#: fig5-style sweep axis for the warm-start leg (TSV count per die).
+#: The first point is the cold start whose setup both legs pay, so the
+#: speedup grows with sweep length; 8 points already clear the 2x floor
+#: with margin (~2.3x observed), 15 more comfortably still.
+FULL_COUNTS = tuple(range(240, 311, 5))
+SMOKE_COUNTS = tuple(range(240, 311, 10))
+
+#: Mesh pitch for the warm-start sweep, mm.  Finer than production
+#: (0.4 mm) so solver setup dominates the per-point cost the way it does
+#: at reference resolution; observed speedup there is ~2.4x.
+WARM_SWEEP_PITCH = 0.2
+
+#: Minimum accepted warm-over-cold speedup (acceptance criterion).
+MIN_WARM_SPEEDUP = 2.0
+
+#: The scaling leg solves at this multiple of the largest benchmark
+#: stack's node count (acceptance criterion).
+SCALE_FACTOR = 4
+
+#: Supply bump spacing (in grid nodes) of the scaling workload.  Dense,
+#: SRAM-PG-style: server-class grids pitch their C4 field a couple of
+#: mesh cells apart, which is also what keeps the Jacobi-preconditioned
+#: system well conditioned at this node count.
+SCALE_BUMP_EVERY = 2
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+
+def _bench_equivalence() -> dict:
+    """Leg 1: every backend agrees with direct on every benchmark."""
+    from repro.designs import all_benchmarks, benchmark
+    from repro.perf.cache import cached_build_stack, clear_caches
+    from repro.rmesh.backends import amg_available
+
+    rows = {}
+    worst = 0.0
+    for name in sorted(all_benchmarks()):
+        clear_caches()
+        bench = benchmark(name)
+        stack = cached_build_stack(bench.stack, bench.baseline)
+        state = bench.reference_state()
+        maps = stack.power_maps(state)
+        reference = None
+        rows[name] = {}
+        for backend in ("direct", "cg", "amg"):
+            solver = stack.solver_for(backend)
+            result = solver.solve_power_maps(maps)
+            ir = result.max_drop_mv()
+            rows[name][backend] = {
+                "max_ir_mv": round(ir, 6),
+                "resolved": result.backend,
+                "iterations": result.iterations,
+            }
+            if backend == "direct":
+                reference = ir
+            else:
+                rel = abs(ir - reference) / reference
+                rows[name][backend]["rel_err"] = float(f"{rel:.3e}")
+                worst = max(worst, rel)
+                assert rel <= EQUIV_RTOL, (
+                    f"{name}/{backend}: max-IR {ir} vs direct {reference} "
+                    f"({rel:.2e} > {EQUIV_RTOL} relative)"
+                )
+    return {
+        "per_benchmark": rows,
+        "worst_rel_err": float(f"{worst:.3e}"),
+        "amg_available": amg_available(),
+    }
+
+
+def _bench_warm_start() -> dict:
+    """Leg 2: session warm-start vs cold iterative solves on a sweep."""
+    from repro.designs import off_chip_ddr3
+    from repro.pdn.sweep import SweepSolveSession
+    from repro.perf.cache import cached_build_stack, clear_caches
+    from repro.rmesh.solve import StackSolver
+
+    bench = off_chip_ddr3()
+    state = bench.reference_state()
+    counts = SMOKE_COUNTS if _smoke() else FULL_COUNTS
+
+    def config_for(count):
+        return bench.baseline.with_options(tsv_count=count)
+
+    # Pre-warm the plan/assembly/power-map caches so both legs time the
+    # *solver* path, not the (identical, cached) build path.
+    clear_caches()
+    for count in counts:
+        cached_build_stack(
+            bench.stack, config_for(count), pitch=WARM_SWEEP_PITCH
+        ).power_maps(state)
+
+    # Cold: what the sweep costs without the session -- a fresh solver
+    # (fresh factor preconditioner) at every point.
+    t0 = time.perf_counter()
+    cold_vals = []
+    for count in counts:
+        stack = cached_build_stack(
+            bench.stack, config_for(count), pitch=WARM_SWEEP_PITCH
+        )
+        solver = StackSolver(stack.model, backend="cg")
+        cold_vals.append(stack.solve_state(state, solver=solver).dram_max_mv)
+    cold_s = time.perf_counter() - t0
+
+    # Warm: one session carries the preconditioner + solution across
+    # knob-only neighbors.
+    session = SweepSolveSession(backend="cg", pitch=WARM_SWEEP_PITCH)
+    t0 = time.perf_counter()
+    warm_vals, iterations = [], []
+    for count in counts:
+        result = session.solve(bench, config_for(count), state)
+        warm_vals.append(result.dram_max_mv)
+        iterations.append(result.raw.iterations)
+    warm_s = time.perf_counter() - t0
+
+    # Ground truth: the bitwise-pinned direct path over the same sweep.
+    direct_vals = [
+        cached_build_stack(bench.stack, config_for(count), pitch=WARM_SWEEP_PITCH)
+        .solver_for("direct")
+        .solve_power_maps(
+            cached_build_stack(
+                bench.stack, config_for(count), pitch=WARM_SWEEP_PITCH
+            ).power_maps(state)
+        )
+        .max_drop_mv()
+        for count in counts
+    ]
+    worst = max(
+        abs(w - d) / d for w, d in zip(warm_vals, direct_vals)
+    )
+    assert worst <= EQUIV_RTOL, (
+        f"warm-start sweep diverged from direct: {worst:.2e} relative"
+    )
+    for cold, warm in zip(cold_vals, warm_vals):
+        assert abs(cold - warm) / warm <= EQUIV_RTOL
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    return {
+        "tsv_counts": list(counts),
+        "pitch": WARM_SWEEP_PITCH,
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup": round(speedup, 2),
+        "iterations": iterations,
+        "warm_starts": session.warm_starts,
+        "cold_starts": session.cold_starts,
+        "worst_rel_err": float(f"{worst:.3e}"),
+    }
+
+
+def _bench_scaling() -> dict:
+    """Leg 3: Jacobi-CG at 4x the largest direct stack, within its wall."""
+    from repro.designs import all_benchmarks, benchmark
+    from repro.perf.cache import cached_build_stack, clear_caches
+    from repro.rmesh.backends import make_operator
+    from repro.rmesh.workloads import workload_for_nodes
+
+    # Largest benchmark stack (by node count) = the direct-solve ceiling.
+    clear_caches()
+    biggest, biggest_stack = None, None
+    for name in sorted(all_benchmarks()):
+        bench = benchmark(name)
+        stack = cached_build_stack(bench.stack, bench.baseline)
+        if biggest_stack is None or stack.model.num_nodes > biggest_stack.model.num_nodes:
+            biggest, biggest_stack = name, stack
+    bench = benchmark(biggest)
+    state = bench.reference_state()
+    maps = biggest_stack.power_maps(state)
+    matrix = biggest_stack.model.conductance_matrix().tocsc()
+    currents = biggest_stack.solver_for("direct").currents_from_maps(maps)
+
+    # Direct wall: setup (factorization) + one solve, timed as one unit
+    # because the sweep-free use case pays both.  Best of two passes on
+    # both sides, suppressing one-off allocator/page-fault outliers.
+    def _direct_pass():
+        t0 = time.perf_counter()
+        op = make_operator("direct", matrix)
+        x = op.solve(currents)
+        return time.perf_counter() - t0, x
+
+    (direct_s, x_small) = min(
+        (_direct_pass() for _ in range(2)), key=lambda t: t[0]
+    )
+
+    # Synthetic workload at >= SCALE_FACTOR x nodes, matrix-free Jacobi-CG.
+    workload = workload_for_nodes(
+        SCALE_FACTOR * biggest_stack.model.num_nodes,
+        bump_every=SCALE_BUMP_EVERY,
+    )
+    big_matrix = workload.model.conductance_matrix().tocsc()
+
+    def _cg_pass():
+        t0 = time.perf_counter()
+        op = make_operator("cg", big_matrix, precond_kind="jacobi")
+        x = op.solve(workload.currents)
+        return time.perf_counter() - t0, x, op
+
+    (cg_s, x_big, cg_op) = min(
+        (_cg_pass() for _ in range(2)), key=lambda t: t[0]
+    )
+
+    result = {
+        "largest_stack": biggest,
+        "largest_nodes": biggest_stack.model.num_nodes,
+        "direct_s": round(direct_s, 4),
+        "workload_nodes": workload.num_nodes,
+        "scale": round(workload.num_nodes / biggest_stack.model.num_nodes, 2),
+        "cg_s": round(cg_s, 4),
+        "cg_iterations": cg_op.iterations,
+        "big_max_ir_mv": round(float(x_big.max()) * 1e3, 4),
+        "small_max_ir_mv": round(float(x_small.max()) * 1e3, 4),
+    }
+    if not _smoke():
+        # Full mode: cross-check the big-mesh iterative solve against a
+        # direct factorization of the same system.
+        x_ref = make_operator("direct", big_matrix).solve(workload.currents)
+        rel = abs(float(x_big.max()) - float(x_ref.max())) / float(x_ref.max())
+        result["big_rel_err"] = float(f"{rel:.3e}")
+        assert rel <= EQUIV_RTOL
+
+    assert workload.num_nodes >= SCALE_FACTOR * biggest_stack.model.num_nodes
+    assert cg_s <= direct_s, (
+        f"Jacobi-CG at {workload.num_nodes} nodes took {cg_s:.3f}s, over the "
+        f"{direct_s:.3f}s direct wall of the {biggest_stack.model.num_nodes}-"
+        f"node {biggest} stack"
+    )
+    return result
+
+
+def run_benchmark() -> dict:
+    from repro.obs import metrics as _metrics
+
+    equivalence = _bench_equivalence()
+    warm = _bench_warm_start()
+    scaling = _bench_scaling()
+
+    _metrics.set_gauge("bench.solver_scaling.warm_speedup", warm["speedup"])
+    _metrics.set_gauge(
+        "bench.solver_scaling.scale_ratio",
+        scaling["direct_s"] / scaling["cg_s"] if scaling["cg_s"] > 0 else 0.0,
+    )
+    _metrics.set_gauge(
+        "bench.solver_scaling.worst_rel_err",
+        max(equivalence["worst_rel_err"], warm["worst_rel_err"]),
+    )
+    result = {
+        "benchmark": "solver backends: equivalence, warm-start, scaling",
+        "smoke": _smoke(),
+        "equivalence": equivalence,
+        "warm_start": warm,
+        "scaling": scaling,
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "solver_scaling.json").write_text(
+        json.dumps(result, indent=2) + "\n"
+    )
+    return result
+
+
+@register_bench("solver_scaling")
+def test_solver_scaling():
+    """Backends agree, warm-start >= 2x, 4x-node mesh within direct wall."""
+    result = run_benchmark()
+    print("\n" + json.dumps(result, indent=2))
+    warm = result["warm_start"]
+    assert warm["warm_starts"] > 0, "session never warm-started"
+    assert warm["speedup"] >= MIN_WARM_SPEEDUP, (
+        f"warm-start sweep only {warm['speedup']}x over cold iterative "
+        f"solves (floor {MIN_WARM_SPEEDUP}x)"
+    )
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="solver backend benchmark (see module docstring)"
+    )
+    parser.add_argument(
+        "--manifest-out", metavar="PATH", default=None,
+        help="write a run provenance manifest",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs import metrics as _metrics
+    from repro.obs.manifest import build_manifest
+    from repro.obs.trace import span
+
+    before = _metrics.snapshot()
+    with span("bench.solver_scaling", smoke=_smoke()) as sp:
+        result = run_benchmark()
+    print(json.dumps(result, indent=2))
+    assert result["warm_start"]["speedup"] >= MIN_WARM_SPEEDUP
+    if args.manifest_out:
+        build_manifest(
+            experiment_id="bench.solver_scaling",
+            title="solver backends: equivalence, warm-start, scaling",
+            config={"smoke": _smoke()},
+            duration_s=sp.duration,
+            metrics_snapshot=_metrics.diff(before, _metrics.snapshot()),
+        ).write(args.manifest_out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

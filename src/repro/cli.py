@@ -41,6 +41,7 @@ from repro.obs.trace import span, write_chrome_trace
 from repro.pdn.config import Bonding
 from repro.pdn.stackup import build_stack
 from repro.perf.parallel import WORKERS_ENV
+from repro.rmesh.backends import BACKENDS, SOLVER_ENV, resolve_backend
 from repro.perf.timers import report as perf_report
 from repro.power.state import MemoryState
 
@@ -105,6 +106,12 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     result = stack.solve_state(state)
     _log.info("%s [%s]", bench.title, config.label())
     _log.info("  %s", result)
+    if result.raw.backend != "direct":
+        _log.info(
+            "  solver: %s (%d iterations)",
+            result.raw.backend,
+            result.raw.iterations,
+        )
     for die, mv in result.per_die_mv.items():
         _log.info("  %s: %.2f mV", die, mv)
     return 0
@@ -262,6 +269,7 @@ def _workers_arg(value: str) -> int:
 _GLOBAL_DEFAULTS = {
     "perf_report": False,
     "workers": None,
+    "solver": None,
     "log_level": "info",
     "log_json": None,
     "quiet": False,
@@ -292,6 +300,13 @@ def _global_options() -> argparse.ArgumentParser:
         metavar="N",
         help="process count for design-space sweeps (default: serial, or "
         f"the {WORKERS_ENV} environment variable)",
+    )
+    common.add_argument(
+        "--solver",
+        choices=BACKENDS,
+        help="linear solver backend for all DC solves (default: direct, or "
+        f"the {SOLVER_ENV} environment variable; amg falls back to cg "
+        "when pyamg is unavailable)",
     )
     common.add_argument(
         "--log-level",
@@ -496,6 +511,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Experiment drivers resolve workers from the environment, so the
         # flag reaches every sweep without threading it through each API.
         os.environ[WORKERS_ENV] = str(args.workers)
+    if args.solver is not None:
+        # Same pattern: StackSolver resolves its backend from the
+        # environment, so one flag covers every solve in the run
+        # (including worker processes, which inherit the environment).
+        os.environ[SOLVER_ENV] = resolve_backend(args.solver)
     with span(f"cli.{args.command}") as sp:
         code = args.func(args)
     if args.perf_report:

@@ -18,6 +18,7 @@ from repro.designs import off_chip_ddr3, on_chip_ddr3
 from repro.experiments.base import ExperimentResult, Row, register
 from repro.experiments.common import solve_design
 from repro.pdn.config import TSVLocation
+from repro.pdn.sweep import SweepSolveSession
 from repro.pdn.tsv import distributed_tsv_points, mean_alignment_distance
 from repro.tech.calibration import DEFAULT_TECH
 
@@ -31,6 +32,16 @@ def run(fast: bool = True) -> ExperimentResult:
     state = off.reference_state()
     outline = off.stack.dram_floorplan.outline
 
+    # One warm-start chain per curve: each (benchmark, alignment) pair
+    # walks the TSV-count knob in order, so under an iterative backend
+    # successive points reuse the neighbor's preconditioner + solution.
+    # Under the default direct backend the sessions are pass-throughs.
+    sessions = {
+        (tag, atag): SweepSolveSession()
+        for tag in ("off", "on")
+        for atag in ("misaligned", "aligned")
+    }
+
     rows = []
     best_alignment_gain = 0.0
     for count in counts:
@@ -43,7 +54,10 @@ def run(fast: bool = True) -> ExperimentResult:
             )
             for aligned, atag in ((False, "misaligned"), (True, "aligned")):
                 res = solve_design(
-                    bench, config.with_options(tsv_aligned=aligned), state
+                    bench,
+                    config.with_options(tsv_aligned=aligned),
+                    state,
+                    session=sessions[(tag, atag)],
                 )
                 values[f"{tag}_{atag}_mv"] = res.dram_max_mv
                 if tag == "on" and aligned:

@@ -20,7 +20,6 @@ cold builds.
 
 from __future__ import annotations
 
-from functools import cached_property
 from typing import Dict, Hashable, Optional, Tuple
 
 import numpy as np
@@ -37,6 +36,7 @@ from repro.pdn.plan import (
     SupplyOp,
 )
 from repro.perf.timers import timed
+from repro.rmesh.backends import resolve_backend
 from repro.rmesh.mesh import LayerMesh
 from repro.rmesh.solve import StackSolver
 from repro.rmesh.stack import StackModel, SupplyLink, VerticalLink
@@ -49,25 +49,46 @@ _LayerSig = Tuple[int, Hashable, Point]
 
 
 class AssembledStack:
-    """One assembled plan: the model plus a lazily factorized solver.
+    """One assembled plan: the model plus lazily prepared solvers.
 
     This is the unit the content-addressed cache stores: every
     :class:`~repro.pdn.stackup.PDNStack` wrapping the same plan hash
-    shares one ``AssembledStack`` and hence one factorization.
+    shares one ``AssembledStack`` and hence one setup (factorization or
+    preconditioner) per backend.
     """
 
     def __init__(self, plan: StackPlan, model: StackModel) -> None:
         self.plan = plan
         self.model = model
+        self._solvers: Dict[str, StackSolver] = {}
 
     @property
     def plan_hash(self) -> str:
         return self.plan.plan_hash
 
-    @cached_property
+    def solver_for(
+        self,
+        backend: Optional[str] = None,
+        warm_from: Optional[StackSolver] = None,
+    ) -> StackSolver:
+        """The shared solver for a backend, prepared on first use.
+
+        ``backend=None`` resolves via ``REPRO_SOLVER`` (default
+        ``direct``).  ``warm_from`` only matters on the preparing call:
+        an already-cached solver is returned as-is, since its setup
+        artifacts exist and reuse would discard them.
+        """
+        resolved = resolve_backend(backend)
+        solver = self._solvers.get(resolved)
+        if solver is None:
+            solver = StackSolver(self.model, backend=resolved, warm_from=warm_from)
+            self._solvers[resolved] = solver
+        return solver
+
+    @property
     def solver(self) -> StackSolver:
-        """Factorized solver, built on first use and shared by wrappers."""
-        return StackSolver(self.model)
+        """Process-default-backend solver, built on first use."""
+        return self.solver_for(None)
 
 
 class AssemblySession:

@@ -35,7 +35,6 @@ property the paper exploits to make F2F reuse one mask set.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import cached_property
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -78,6 +77,7 @@ from repro.perf.timers import timed
 from repro.power.model import DramPowerSpec, LogicPowerSpec
 from repro.power.powermap import PowerMap, logic_power_map
 from repro.power.state import MemoryState
+from repro.rmesh.backends import resolve_backend
 from repro.rmesh.solve import IRDropResult, StackSolver
 from repro.rmesh.stack import StackModel
 from repro.tech.calibration import (
@@ -177,6 +177,7 @@ class PDNStack:
         self.logic_grid = logic_grid
         self.plan = plan
         self.assembled = assembled
+        self._solvers: Dict[str, StackSolver] = {}
 
     @classmethod
     def from_assembled(
@@ -223,15 +224,33 @@ class PDNStack:
     def logic_load_key(self) -> Optional[str]:
         return "logic/ML1" if self.logic_grid is not None else None
 
-    @cached_property
-    def solver(self) -> StackSolver:
-        """Factorized solver, built on first use and reused for all states
-        (the factorization dominates; per-state solves are back-substitutions).
-        Delegates to the assembled stack when present, so every wrapper of
-        the same plan hash shares one factorization."""
+    def solver_for(
+        self,
+        backend: Optional[str] = None,
+        warm_from: Optional[StackSolver] = None,
+    ) -> StackSolver:
+        """The stack's solver for a backend, prepared on first use.
+
+        Delegates to the assembled stack when present, so every wrapper
+        of the same plan hash shares one setup per backend; hand-built
+        models keep their own per-backend cache.  ``warm_from`` (see
+        :class:`~repro.rmesh.solve.StackSolver`) only matters on the
+        first, preparing call for a backend.
+        """
         if self.assembled is not None:
-            return self.assembled.solver
-        return StackSolver(self.model)
+            return self.assembled.solver_for(backend, warm_from=warm_from)
+        resolved = resolve_backend(backend)
+        solver = self._solvers.get(resolved)
+        if solver is None:
+            solver = StackSolver(self.model, backend=resolved, warm_from=warm_from)
+            self._solvers[resolved] = solver
+        return solver
+
+    @property
+    def solver(self) -> StackSolver:
+        """Process-default-backend solver, built on first use and reused
+        for all states (setup dominates; per-state solves are cheap)."""
+        return self.solver_for(None)
 
     # -- evaluation --------------------------------------------------------------
 
@@ -298,12 +317,21 @@ class PDNStack:
         )
 
     def solve_state(
-        self, state: MemoryState, logic_scale: float = 1.0
+        self,
+        state: MemoryState,
+        logic_scale: float = 1.0,
+        x0: Optional[np.ndarray] = None,
+        solver: Optional[StackSolver] = None,
     ) -> StackIRResult:
-        """Solve one memory state and extract per-die maxima."""
+        """Solve one memory state and extract per-die maxima.
+
+        ``solver`` overrides the stack's shared solver (the sweep
+        warm-start layer passes one it prepared from a neighboring
+        point); ``x0`` seeds iterative backends with a previous solution.
+        """
         maps = self.power_maps(state, logic_scale)
         try:
-            raw = self.solver.solve_power_maps(maps)
+            raw = (solver or self.solver).solve_power_maps(maps, x0=x0)
         except SolverError as exc:
             self._annotate_solver_error(exc, [state])
             raise

@@ -183,6 +183,9 @@ power_map_cache = LRUCache(maxsize=256, name="power_map")
 #: Lazily created shared assembly session (incremental sweep reassembly).
 _assembly_session: Optional[Any] = None
 
+#: Lazily created shared sweep-solve session (warm-started solves).
+_sweep_session: Optional[Any] = None
+
 
 def assembly_session():
     """The process-global :class:`~repro.pdn.assemble.AssemblySession`."""
@@ -192,6 +195,21 @@ def assembly_session():
 
         _assembly_session = AssemblySession()
     return _assembly_session
+
+
+def sweep_session():
+    """The process-global :class:`~repro.pdn.sweep.SweepSolveSession`.
+
+    Resolves its backend from ``REPRO_SOLVER`` at creation; callers that
+    need an explicitly different backend (or an isolated warm-start
+    chain per sweep curve) should construct their own session instead.
+    """
+    global _sweep_session
+    if _sweep_session is None:
+        from repro.pdn.sweep import SweepSolveSession
+
+        _sweep_session = SweepSolveSession()
+    return _sweep_session
 
 
 def cached_build_stack(
@@ -261,6 +279,8 @@ def clear_caches() -> None:
     power_map_cache.clear()
     if _assembly_session is not None:
         _assembly_session.clear()
+    if _sweep_session is not None:
+        _sweep_session.reset()
 
 
 def cache_stats() -> Dict[str, Dict[str, int]]:

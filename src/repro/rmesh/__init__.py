@@ -11,6 +11,14 @@ is exactly the sparse linear solve performed here.
 the role of Cadence EPS in the paper's Figure 4 validation.
 """
 
+from repro.rmesh.backends import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    SOLVER_ENV,
+    amg_available,
+    make_operator,
+    resolve_backend,
+)
 from repro.rmesh.mesh import LayerMesh
 from repro.rmesh.stack import StackModel, VerticalLink, SupplyLink
 from repro.rmesh.solve import IRDropResult, StackSolver
@@ -22,4 +30,10 @@ __all__ = [
     "SupplyLink",
     "IRDropResult",
     "StackSolver",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "SOLVER_ENV",
+    "amg_available",
+    "make_operator",
+    "resolve_backend",
 ]

@@ -1,0 +1,446 @@
+"""Pluggable solver backends for the stacked R-mesh DC solve.
+
+:class:`~repro.rmesh.solve.StackSolver` historically had exactly one
+strategy: one SuperLU factorization per stack, many back-substitutions.
+That is the right call at the paper's production mesh resolution (a few
+thousand nodes) but it caps how fine a mesh is routinely solvable -- the
+reference-grid discretization in :mod:`repro.rmesh.reference` carries an
+order of magnitude more resistors and a direct factorization of it is
+the dominant cold-path cost.
+
+This module makes the strategy pluggable:
+
+``direct``
+    The historical SuperLU path, **bitwise identical** to what
+    ``StackSolver`` always produced, and still the default.
+
+``cg``
+    Preconditioned conjugate gradient.  The conductance matrix is
+    symmetric positive definite (diagonally dominant M-matrix with at
+    least one supply link), so CG is applicable with any *symmetric*
+    preconditioner:
+
+    * ``jacobi`` -- diagonal scaling.  Free to set up, matrix-free to
+      apply; the scalable choice for meshes far beyond the direct
+      solver's comfort zone (SRAM-PG-style stress grids).
+    * ``factor`` (default) -- a complete SuperLU factorization used as
+      the preconditioner.  On its own matrix CG then converges in one
+      iteration (it *is* the direct solve, plus a residual check); its
+      value is that the factorization of a *neighboring* sweep point is
+      an excellent preconditioner for a knob-perturbed matrix -- a TSV
+      pitch tweak barely perturbs the spectrum -- which is what the
+      warm-start layer (:mod:`repro.pdn.sweep`) exploits: one
+      factorization per sweep, a handful of CG iterations per point.
+
+      Note an *incomplete* LU (``scipy.sparse.linalg.spilu``) is **not**
+      usable here: ILU factors are nonsymmetric, which silently breaks
+      CG's three-term recurrence (observed: stagnation at ~1e-2
+      residuals).  A complete factorization of an SPD matrix, applied as
+      ``x -> U^-1 L^-1 x``, is its exact SPD inverse up to rounding.
+
+``amg``
+    Algebraic multigrid via ``pyamg`` when importable -- the smoothed-
+    aggregation hierarchy is itself a reusable preconditioner for CG.
+    When ``pyamg`` is missing the backend **falls back to ``cg``** with
+    a one-time warning and a ``solver.amg_fallbacks`` counter bump, so
+    ``REPRO_SOLVER=amg`` is safe to set everywhere.
+
+Selection order: explicit argument > ``REPRO_SOLVER`` environment
+variable > ``direct``.  Iteration counts, preconditioner reuse, and
+setup times are threaded into the obs metrics registry under
+``solver.*`` names so bench records attribute wall time to backends.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.errors import ConfigurationError, SolverError
+from repro.obs import metrics as _metrics
+from repro.obs.log import get_logger
+
+_log = get_logger("rmesh.backends")
+
+#: Environment variable selecting the process-default backend.
+SOLVER_ENV = "REPRO_SOLVER"
+
+#: Environment knobs for the iterative path.
+CG_RTOL_ENV = "REPRO_CG_RTOL"
+CG_MAXITER_ENV = "REPRO_CG_MAXITER"
+CG_PRECOND_ENV = "REPRO_CG_PRECOND"
+
+#: Known backend names, resolution-order independent.
+BACKENDS = ("direct", "cg", "amg")
+
+#: Known preconditioner kinds for the cg backend.
+PRECONDITIONERS = ("factor", "jacobi")
+
+DEFAULT_BACKEND = "direct"
+DEFAULT_CG_RTOL = 1e-10
+DEFAULT_CG_PRECOND = "factor"
+
+_amg_warned = False
+
+
+def resolve_backend(choice: Optional[str] = None) -> str:
+    """Resolve a backend name: argument > ``REPRO_SOLVER`` > direct."""
+    name = choice or os.environ.get(SOLVER_ENV) or DEFAULT_BACKEND
+    name = name.strip().lower()
+    if name not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown solver backend {name!r}; known: {list(BACKENDS)} "
+            f"(set via argument or {SOLVER_ENV})"
+        )
+    return name
+
+
+def _cg_rtol() -> float:
+    return float(os.environ.get(CG_RTOL_ENV) or DEFAULT_CG_RTOL)
+
+
+def _cg_precond() -> str:
+    kind = (os.environ.get(CG_PRECOND_ENV) or DEFAULT_CG_PRECOND).lower()
+    if kind not in PRECONDITIONERS:
+        raise ConfigurationError(
+            f"unknown cg preconditioner {kind!r}; known: "
+            f"{list(PRECONDITIONERS)} (set via {CG_PRECOND_ENV})"
+        )
+    return kind
+
+
+def _cg_maxiter(num_nodes: int) -> int:
+    env = os.environ.get(CG_MAXITER_ENV)
+    if env:
+        return int(env)
+    # Jacobi-CG on these meshes needs a few hundred iterations; leave
+    # ample headroom before declaring divergence.
+    return max(10 * num_nodes, 2000)
+
+
+# ---------------------------------------------------------------------------
+# Preconditioners (the warm-start reuse unit)
+# ---------------------------------------------------------------------------
+
+
+class Preconditioner:
+    """A symmetric preconditioner: ``kind``, shape, and an apply operator."""
+
+    kind: str = "none"
+
+    def __init__(self, shape) -> None:
+        self.shape = shape
+
+    def operator(self) -> spla.LinearOperator:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def compatible_with(self, matrix: sp.spmatrix) -> bool:
+        """Whether this preconditioner can serve ``matrix`` (shape match).
+
+        Sweep neighbors keep the node numbering (knob-only plan diffs),
+        so a shape match is exactly the reuse precondition the warm-start
+        layer checks before handing a previous point's preconditioner in.
+        """
+        return tuple(self.shape) == tuple(matrix.shape)
+
+
+class JacobiPreconditioner(Preconditioner):
+    """Diagonal scaling: free setup, matrix-free apply."""
+
+    kind = "jacobi"
+
+    def __init__(self, matrix: sp.spmatrix) -> None:
+        super().__init__(matrix.shape)
+        diag = matrix.diagonal()
+        if np.any(diag <= 0.0):
+            raise SolverError(
+                "conductance matrix has non-positive diagonal entries",
+                bad=int(np.count_nonzero(diag <= 0.0)),
+            )
+        self._inv_diag = 1.0 / diag
+
+    def operator(self) -> spla.LinearOperator:
+        inv = self._inv_diag
+        return spla.LinearOperator(self.shape, matvec=lambda v: v * inv)
+
+
+class FactorPreconditioner(Preconditioner):
+    """A complete SuperLU factorization applied as an SPD inverse.
+
+    Built from one matrix, reusable for spectrally-nearby ones: the
+    warm-start layer hands the previous sweep point's instance to the
+    next point's solver, replacing a fresh factorization with a few CG
+    iterations.
+    """
+
+    kind = "factor"
+
+    def __init__(self, matrix: sp.spmatrix) -> None:
+        super().__init__(matrix.shape)
+        try:
+            self._lu = spla.splu(matrix.tocsc())
+        except RuntimeError as exc:  # singular matrix
+            raise SolverError(
+                f"preconditioner factorization failed: {exc}",
+                num_nodes=matrix.shape[0],
+            ) from exc
+
+    def operator(self) -> spla.LinearOperator:
+        return spla.LinearOperator(self.shape, matvec=self._lu.solve)
+
+
+def make_preconditioner(kind: str, matrix: sp.spmatrix) -> Preconditioner:
+    """Build a preconditioner of ``kind`` for ``matrix``."""
+    if kind == "jacobi":
+        return JacobiPreconditioner(matrix)
+    if kind == "factor":
+        return FactorPreconditioner(matrix)
+    raise ConfigurationError(
+        f"unknown preconditioner kind {kind!r}; known: {list(PRECONDITIONERS)}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Operators (one factorized/preconditioned system, many right-hand sides)
+# ---------------------------------------------------------------------------
+
+
+class SolverOperator:
+    """One prepared linear system: solve many right-hand sides.
+
+    ``iterations`` is the iteration count of the *last* solve (0 for the
+    direct path); ``total_iterations`` accumulates across solves.
+    ``preconditioner`` is the reusable setup artifact (None for direct).
+    """
+
+    name: str = "none"
+
+    def __init__(self) -> None:
+        self.iterations = 0
+        self.total_iterations = 0
+        self.preconditioner: Optional[Preconditioner] = None
+        self.reused_preconditioner = False
+
+    def solve(
+        self, rhs: np.ndarray, x0: Optional[np.ndarray] = None
+    ) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def solve_block(
+        self, block: np.ndarray, x0: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Solve ``k`` right-hand sides; returns a Fortran-ordered block.
+
+        ``x0`` may be one vector (shared initial guess) or a matching
+        ``(n, k)`` block.  Column ``i`` of the result is bitwise
+        identical to ``solve(block[:, i], x0_i)``.
+        """
+        out = np.empty_like(block, order="F")
+        for i in range(block.shape[1]):
+            guess = None
+            if x0 is not None:
+                guess = x0 if x0.ndim == 1 else x0[:, i]
+            out[:, i] = self.solve(block[:, i], x0=guess)
+        return out
+
+
+class DirectOperator(SolverOperator):
+    """The historical SuperLU path; bitwise identical to the old solver."""
+
+    name = "direct"
+
+    def __init__(self, matrix: sp.spmatrix) -> None:
+        super().__init__()
+        try:
+            self._lu = spla.splu(matrix)
+        except RuntimeError as exc:  # singular matrix
+            raise SolverError(
+                f"factorization failed: {exc}",
+                num_nodes=matrix.shape[0],
+            ) from exc
+
+    def solve(
+        self, rhs: np.ndarray, x0: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        # x0 is deliberately ignored: a direct solve has no warm start,
+        # and accepting it keeps the call sites backend-agnostic.
+        return self._lu.solve(rhs)
+
+    def solve_block(
+        self, block: np.ndarray, x0: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        # The whole block goes through SuperLU's triangular solves in a
+        # single call, amortizing the sparse traversal over all RHS.
+        return np.asfortranarray(self._lu.solve(np.asfortranarray(block)))
+
+
+class CGOperator(SolverOperator):
+    """Preconditioned conjugate gradient over one conductance matrix."""
+
+    name = "cg"
+
+    def __init__(
+        self,
+        matrix: sp.spmatrix,
+        preconditioner: Optional[Preconditioner] = None,
+        precond_kind: Optional[str] = None,
+        rtol: Optional[float] = None,
+        maxiter: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        self._matrix = matrix.tocsr()
+        self.rtol = rtol if rtol is not None else _cg_rtol()
+        self.maxiter = maxiter or _cg_maxiter(matrix.shape[0])
+        kind = precond_kind or _cg_precond()
+        if preconditioner is not None and preconditioner.compatible_with(matrix):
+            self.preconditioner = preconditioner
+            self.reused_preconditioner = True
+            _metrics.inc("solver.preconditioner_reuses")
+        else:
+            self.preconditioner = make_preconditioner(kind, matrix)
+            _metrics.inc("solver.preconditioner_builds")
+        self._M = self.preconditioner.operator()
+
+    def solve(
+        self, rhs: np.ndarray, x0: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        count = [0]
+
+        def _tick(_xk: np.ndarray) -> None:
+            count[0] += 1
+
+        x, info = spla.cg(
+            self._matrix,
+            rhs,
+            x0=x0,
+            rtol=self.rtol,
+            atol=0.0,
+            maxiter=self.maxiter,
+            M=self._M,
+            callback=_tick,
+        )
+        self.iterations = count[0]
+        self.total_iterations += count[0]
+        _metrics.inc("solver.cg_iterations", count[0])
+        if info > 0:
+            raise SolverError(
+                f"cg failed to converge within {self.maxiter} iterations",
+                rtol=self.rtol,
+                iterations=count[0],
+                preconditioner=self.preconditioner.kind,
+                warm_start=x0 is not None,
+            )
+        if info < 0:  # pragma: no cover - scipy input validation
+            raise SolverError(f"cg reported illegal input (info={info})")
+        return x
+
+
+class AMGOperator(SolverOperator):
+    """CG accelerated by a pyamg smoothed-aggregation hierarchy.
+
+    The hierarchy is the reusable setup artifact, wrapped so the
+    warm-start layer can pass it between sweep neighbors exactly like a
+    :class:`FactorPreconditioner`.
+    """
+
+    name = "amg"
+
+    class _Hierarchy(Preconditioner):
+        kind = "amg"
+
+        def __init__(self, matrix: sp.spmatrix) -> None:
+            import pyamg
+
+            super().__init__(matrix.shape)
+            self._ml = pyamg.smoothed_aggregation_solver(matrix.tocsr())
+
+        def operator(self) -> spla.LinearOperator:
+            return self._ml.aspreconditioner(cycle="V")
+
+    def __init__(
+        self,
+        matrix: sp.spmatrix,
+        preconditioner: Optional[Preconditioner] = None,
+        rtol: Optional[float] = None,
+        maxiter: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        self._matrix = matrix.tocsr()
+        self.rtol = rtol if rtol is not None else _cg_rtol()
+        self.maxiter = maxiter or _cg_maxiter(matrix.shape[0])
+        if preconditioner is not None and preconditioner.compatible_with(matrix):
+            self.preconditioner = preconditioner
+            self.reused_preconditioner = True
+            _metrics.inc("solver.preconditioner_reuses")
+        else:
+            self.preconditioner = AMGOperator._Hierarchy(matrix)
+            _metrics.inc("solver.preconditioner_builds")
+        self._M = self.preconditioner.operator()
+
+    solve = CGOperator.solve  # same CG acceleration, different M
+
+
+def amg_available() -> bool:
+    """Whether the optional pyamg dependency is importable."""
+    try:
+        import pyamg  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def make_operator(
+    backend: str,
+    matrix: sp.spmatrix,
+    warm_from: Optional[SolverOperator] = None,
+    **options,
+) -> SolverOperator:
+    """Build the operator for a resolved backend name.
+
+    ``warm_from`` is a previous (spectrally nearby) operator whose
+    preconditioner is reused when compatible -- the warm-start handoff.
+    ``options`` pass through to the iterative constructors (``rtol``,
+    ``maxiter``, ``precond_kind``).
+    """
+    global _amg_warned
+    prev = warm_from.preconditioner if warm_from is not None else None
+    if backend == "direct":
+        return DirectOperator(matrix)
+    if backend == "amg" and not amg_available():
+        if not _amg_warned:
+            _log.warning(
+                "pyamg is not installed; amg backend falling back to cg"
+            )
+            _amg_warned = True
+        _metrics.inc("solver.amg_fallbacks")
+        backend = "cg"
+        # An AMG hierarchy from a previous operator cannot serve the cg
+        # fallback; compatible_with is shape-only, so drop it here.
+        if prev is not None and prev.kind == "amg":
+            prev = None  # pragma: no cover - needs pyamg to produce one
+    if backend == "cg":
+        if prev is not None and prev.kind not in PRECONDITIONERS:
+            prev = None  # pragma: no cover - cross-backend handoff
+        return CGOperator(matrix, preconditioner=prev, **options)
+    if backend == "amg":
+        return AMGOperator(  # pragma: no cover - exercised when pyamg exists
+            matrix,
+            preconditioner=prev,
+            rtol=options.get("rtol"),
+            maxiter=options.get("maxiter"),
+        )
+    raise ConfigurationError(
+        f"unknown solver backend {backend!r}; known: {list(BACKENDS)}"
+    )
+
+
+#: Convenience export for callers that enumerate operators per backend.
+OPERATOR_TYPES: Dict[str, type] = {
+    "direct": DirectOperator,
+    "cg": CGOperator,
+    "amg": AMGOperator,
+}

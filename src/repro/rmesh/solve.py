@@ -1,44 +1,78 @@
 """Sparse DC solve of an assembled stack and IR-drop extraction.
 
-The solver factorizes the conductance matrix once (scipy SuperLU) and
-reuses the factorization across memory states: a new state only changes
-the current right-hand side.  This is what makes building the controller's
-IR-drop look-up table (section 5.2) cheap -- one factorization, dozens of
+The solver prepares the conductance matrix once and reuses that setup
+across memory states: a new state only changes the current right-hand
+side.  This is what makes building the controller's IR-drop look-up
+table (section 5.2) cheap -- one factorization, dozens of
 back-substitutions.
 
-Observability: factorization and every solve run inside trace spans
-(``solver.factorize`` / ``solver.solve`` / ``solver.solve_many``); the
-metrics registry counts factorizations and solved right-hand sides,
-histograms the RHS batch sizes, and gauges each solve's relative
-residual norm ``||Gx - b|| / ||b||`` as a numerical health check.  The
-residual is computed on the already-solved vector, so recorded IR drops
-are bitwise unaffected.
+*How* the system is solved is pluggable (:mod:`repro.rmesh.backends`):
+the default ``direct`` backend is the historical SuperLU factorization,
+bitwise identical to what this module always produced; ``cg`` and
+``amg`` are preconditioned iterative paths whose setup artifacts can be
+warm-started from a neighboring sweep point (:mod:`repro.pdn.sweep`).
+Select per solver (``StackSolver(model, backend="cg")``), per process
+(``REPRO_SOLVER=cg``), or per CLI invocation (``repro3d --solver cg``).
+
+Observability: setup and every solve run inside trace spans
+(``solver.factorize`` / ``solver.solve`` / ``solver.solve_many``, each
+tagged with the backend); the metrics registry counts factorizations,
+solved right-hand sides and iterative-solver iterations, histograms the
+RHS batch sizes, and gauges the solve's relative residual norm
+``||Gx - b|| / ||b||`` as a numerical health check.  The residual gauge
+costs a full sparse matvec, so it is *sampled* (every
+:data:`RESIDUAL_SAMPLE_EVERY`-th solve per solver; override with
+``REPRO_RESIDUAL_EVERY``, ``1`` restores always-on) -- the LUT-build hot
+loop no longer pays O(nnz) per right-hand side.  Residuals are computed
+on the already-solved vector, so recorded IR drops are bitwise
+unaffected by the sampling rate.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Mapping
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
-import scipy.sparse.linalg as spla
 
 from repro.errors import SolverError
 from repro.geometry import Point
 from repro.obs import metrics as _metrics
 from repro.obs.trace import span
 from repro.power.powermap import PowerMap
+from repro.rmesh.backends import SolverOperator, make_operator, resolve_backend
 from repro.rmesh.stack import StackModel
 from repro.units import to_mv
+
+#: Record the residual-norm gauge on every Nth solve per solver (the
+#: first solve is always sampled).  ``REPRO_RESIDUAL_EVERY`` overrides.
+RESIDUAL_SAMPLE_EVERY = 16
+
+RESIDUAL_ENV = "REPRO_RESIDUAL_EVERY"
+
+
+def _residual_every() -> int:
+    value = int(os.environ.get(RESIDUAL_ENV) or RESIDUAL_SAMPLE_EVERY)
+    return max(value, 1)
 
 
 @dataclass
 class IRDropResult:
-    """Node IR drops (volts) plus bookkeeping to slice them per die/layer."""
+    """Node IR drops (volts) plus bookkeeping to slice them per die/layer.
+
+    ``drops`` may be a *view* into a shared solution block (the batched
+    :meth:`StackSolver.solve_many` path keeps one Fortran-ordered block
+    instead of per-column copies); treat it as read-only, like every
+    library path does.  ``backend``/``iterations`` carry the solve's
+    provenance (iterations is 0 for the direct path).
+    """
 
     model: StackModel
     drops: np.ndarray  # per global node, volts
     solve_time: float  # seconds spent in back-substitution
+    backend: str = "direct"
+    iterations: int = field(default=0, compare=False)
 
     def max_drop(self) -> float:
         """Worst IR drop anywhere in the stack, volts."""
@@ -97,42 +131,89 @@ class IRDropResult:
 
 
 class StackSolver:
-    """Factorize a stack once, solve many load configurations."""
+    """Prepare a stack's system once, solve many load configurations.
 
-    def __init__(self, model: StackModel) -> None:
+    ``backend`` picks the solve strategy (argument > ``REPRO_SOLVER`` >
+    ``direct``; see :mod:`repro.rmesh.backends`).  ``warm_from`` hands in
+    a neighboring solver whose preconditioner is reused when compatible
+    -- the sweep warm-start path.
+    """
+
+    def __init__(
+        self,
+        model: StackModel,
+        backend: Optional[str] = None,
+        warm_from: "Optional[StackSolver]" = None,
+    ) -> None:
         self.model = model
+        self.backend = resolve_backend(backend)
         matrix = model.conductance_matrix().tocsc()
-        with span("solver.factorize", nodes=model.num_nodes) as sp:
-            try:
-                self._lu = spla.splu(matrix)
-            except RuntimeError as exc:  # singular matrix
-                raise SolverError(
-                    f"factorization failed: {exc}",
-                    num_nodes=model.num_nodes,
-                ) from exc
+        with span(
+            "solver.factorize", nodes=model.num_nodes, backend=self.backend
+        ) as sp:
+            self._op = make_operator(
+                self.backend,
+                matrix,
+                warm_from=warm_from._op if warm_from is not None else None,
+            )
         self.factor_time = sp.duration
-        # Kept for residual-norm checks; the LU factors dominate memory.
+        # Kept for residual-norm checks; the setup artifacts dominate memory.
         self._matrix = matrix
         self._num_nodes = model.num_nodes
+        self._solve_count = 0
         _metrics.inc("solver.factorizations")
+        _metrics.inc(f"solver.backend.{self._op.name}")
+
+    # -- backend introspection ------------------------------------------------
+
+    @property
+    def operator(self) -> SolverOperator:
+        """The prepared backend operator (preconditioner handoff point)."""
+        return self._op
+
+    @property
+    def last_iterations(self) -> int:
+        """Iteration count of the most recent solve (0 for direct)."""
+        return self._op.iterations
+
+    @property
+    def reused_preconditioner(self) -> bool:
+        """Whether this solver's setup reused a neighbor's preconditioner."""
+        return self._op.reused_preconditioner
 
     def _observe_solution(self, rhs: np.ndarray, drops: np.ndarray) -> None:
-        """Record residual-norm and throughput metrics for one solve.
+        """Record throughput metrics -- and, sampled, the residual gauge.
 
         Reads the solution only -- never mutates it -- so IR numbers are
         bitwise identical with or without observability output flags.
+        The residual norm costs a full sparse matvec, so it is computed
+        only on every Nth solve per solver (first solve included); the
+        cheap counters are recorded unconditionally.
         """
         k = 1 if rhs.ndim == 1 else rhs.shape[1]
+        sampled = self._solve_count % _residual_every() == 0
+        self._solve_count += 1
+        _metrics.inc("solver.rhs_solved", k)
+        _metrics.observe("solver.rhs_batch_size", k)
+        if self._op.iterations:
+            _metrics.set_gauge("solver.last_iterations", self._op.iterations)
+        if not sampled:
+            return
         residual = float(np.linalg.norm(self._matrix @ drops - rhs))
         scale = float(np.linalg.norm(rhs))
         relative = residual / scale if scale > 0.0 else residual
         _metrics.set_gauge("solver.residual_norm", relative)
         _metrics.observe("solver.residual_norm", relative)
-        _metrics.inc("solver.rhs_solved", k)
-        _metrics.observe("solver.rhs_batch_size", k)
 
-    def solve_currents(self, currents: np.ndarray) -> IRDropResult:
-        """Solve for node drops given a per-node current vector (A)."""
+    def solve_currents(
+        self, currents: np.ndarray, x0: Optional[np.ndarray] = None
+    ) -> IRDropResult:
+        """Solve for node drops given a per-node current vector (A).
+
+        ``x0`` is an optional initial guess for iterative backends
+        (ignored by ``direct``): the previous sweep point's solution
+        short-circuits most of each warm solve.
+        """
         if currents.shape != (self._num_nodes,):
             raise SolverError(
                 f"current vector has shape {currents.shape}, expected "
@@ -145,8 +226,9 @@ class StackSolver:
                 worst_node=worst,
                 worst_current=float(currents[worst]),
             )
-        with span("solver.solve") as sp:
-            drops = self._lu.solve(currents)
+        with span("solver.solve", backend=self.backend) as sp:
+            drops = self._op.solve(currents, x0=x0)
+            sp.attrs["iterations"] = self._op.iterations
         if not np.all(np.isfinite(drops)):
             raise SolverError(
                 "solve produced non-finite drops",
@@ -156,19 +238,25 @@ class StackSolver:
             )
         self._observe_solution(currents, drops)
         return IRDropResult(
-            model=self.model, drops=drops, solve_time=sp.duration
+            model=self.model,
+            drops=drops,
+            solve_time=sp.duration,
+            backend=self._op.name,
+            iterations=self._op.iterations,
         )
 
-    def solve_many(self, currents_matrix: np.ndarray) -> List[IRDropResult]:
-        """Solve ``k`` load configurations in one back-substitution.
+    def solve_block(
+        self, currents_matrix: np.ndarray, x0: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Solve ``k`` load configurations; return one Fortran-ordered block.
 
         ``currents_matrix`` has shape ``(num_nodes, k)``, one current
-        vector per column.  The whole block goes through SuperLU's
-        triangular solves in a single call, which amortizes the sparse
-        traversal over all right-hand sides -- the batched form of the
-        "one factorization, dozens of back-substitutions" trick the
-        controller LUT build relies on.  Column ``i`` of the result is
+        vector per column; the result block matches it.  Column ``i`` is
         bitwise identical to ``solve_currents(currents_matrix[:, i])``.
+        This is the memory-lean primitive under :meth:`solve_many`:
+        callers that only need the raw drops (LUT builds, batched
+        sweeps) can consume the block directly -- one allocation, no
+        per-column copies.
         """
         if currents_matrix.ndim != 2 or currents_matrix.shape[0] != self._num_nodes:
             raise SolverError(
@@ -176,7 +264,7 @@ class StackSolver:
                 f"expected ({self._num_nodes}, k)"
             )
         if currents_matrix.shape[1] == 0:
-            return []
+            return np.empty((self._num_nodes, 0), order="F")
         if np.any(currents_matrix < -1e-15):
             worst = int(np.argmin(currents_matrix.min(axis=1)))
             raise SolverError(
@@ -184,8 +272,11 @@ class StackSolver:
                 worst_node=worst,
             )
         k = currents_matrix.shape[1]
-        with span("solver.solve_many", count=k, batch=k) as sp:
-            block = self._lu.solve(np.asfortranarray(currents_matrix))
+        with span("solver.solve_many", count=k, batch=k, backend=self.backend) as sp:
+            block = self._op.solve_block(
+                np.asfortranarray(currents_matrix), x0=x0
+            )
+            sp.attrs["iterations"] = self._op.iterations
         if not np.all(np.isfinite(block)):
             raise SolverError(
                 "solve produced non-finite drops",
@@ -194,12 +285,35 @@ class StackSolver:
                 nonfinite=int(np.count_nonzero(~np.isfinite(block))),
             )
         self._observe_solution(currents_matrix, block)
-        per_rhs = sp.duration / block.shape[1]
+        self._last_block_time = sp.duration
+        return block
+
+    def solve_many(
+        self, currents_matrix: np.ndarray, x0: Optional[np.ndarray] = None
+    ) -> List[IRDropResult]:
+        """Solve ``k`` load configurations in one back-substitution.
+
+        The whole block goes through the backend in a single
+        :meth:`solve_block` call -- the batched form of the "one
+        factorization, dozens of back-substitutions" trick the
+        controller LUT build relies on.  Each result's ``drops`` is a
+        zero-copy *view* into the shared Fortran-ordered block (columns
+        of an F-ordered array are contiguous), so a large LUT batch no
+        longer doubles peak RSS by materializing per-column copies.
+        Column ``i`` of the result is bitwise identical to
+        ``solve_currents(currents_matrix[:, i])``.
+        """
+        block = self.solve_block(currents_matrix, x0=x0)
+        if block.shape[1] == 0:
+            return []
+        per_rhs = self._last_block_time / block.shape[1]
         return [
             IRDropResult(
                 model=self.model,
-                drops=np.ascontiguousarray(block[:, i]),
+                drops=block[:, i],
                 solve_time=per_rhs,
+                backend=self._op.name,
+                iterations=self._op.iterations,
             )
             for i in range(block.shape[1])
         ]
@@ -223,7 +337,7 @@ class StackSolver:
         return currents
 
     def solve_power_maps(
-        self, maps: Mapping[str, PowerMap]
+        self, maps: Mapping[str, PowerMap], x0: Optional[np.ndarray] = None
     ) -> IRDropResult:
         """Solve with loads given as power maps keyed by layer key."""
-        return self.solve_currents(self.currents_from_maps(maps))
+        return self.solve_currents(self.currents_from_maps(maps), x0=x0)

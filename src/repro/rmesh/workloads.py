@@ -1,0 +1,153 @@
+"""Synthetic large-mesh PDN workloads for solver stress testing.
+
+The paper's four benchmark stacks top out around 6.5k nodes at the
+production mesh pitch -- comfortable for a direct factorization, but not
+representative of the reference-resolution discretization
+(:mod:`repro.rmesh.reference`) or of the SRAM-PG-style PDN benchmark
+grids (arXiv:2404.05260) that iterative solvers are meant to unlock.
+This module generates stacks of *arbitrary* node count with the same
+ingredients as a planned stack -- uniform metal meshes, distributed via
+coupling between layers, a regular supply bump array, and hotspot-laden
+current loads -- so ``bench_solver_scaling`` can gate backend behaviour
+at 4x and beyond the largest direct-solved benchmark.
+
+Workloads are deterministic: currents come from a seeded
+``numpy.random.Generator``, and the mesh is a pure function of its
+parameters, so max-IR values are reproducible across runs and machines
+(the usual golden-value discipline of this repo).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import Grid2D, Rect
+from repro.rmesh.mesh import LayerMesh
+from repro.rmesh.stack import StackModel
+
+#: Edge conductance of the synthetic metal meshes, siemens.  The order
+#: of magnitude of a DRAM global power layer at the paper's pitch.
+EDGE_CONDUCTANCE = 2.0
+
+#: Distributed via coupling between adjacent layers, S/mm^2.
+VIA_DENSITY = 50.0
+
+#: Conductance of one supply bump (C4-ish), siemens.
+BUMP_CONDUCTANCE = 1.0 / 0.09
+
+#: Physical pitch of the synthetic grid, mm (sets the die size).
+NODE_PITCH = 0.1
+
+
+@dataclass
+class SyntheticWorkload:
+    """A stress stack plus one deterministic load vector.
+
+    ``currents`` loads the *top* layer only (the layer farthest from the
+    supply bumps), the worst case for vertical IR drop.
+    """
+
+    model: StackModel
+    currents: np.ndarray
+    nx: int
+    ny: int
+    layers: int
+    seed: int
+
+    @property
+    def num_nodes(self) -> int:
+        return self.model.num_nodes
+
+    @property
+    def load_key(self) -> str:
+        return f"stress/M{self.layers}"
+
+
+def synthetic_workload(
+    nx: int,
+    ny: int,
+    layers: int = 3,
+    bump_every: int = 8,
+    hotspots: int = 6,
+    total_current: float = 0.7,
+    seed: int = 2015,
+) -> SyntheticWorkload:
+    """Build an ``nx x ny x layers`` stress stack with hotspot loads.
+
+    ``bump_every`` spaces the supply bump array (one bump per
+    ``bump_every`` nodes in each direction on the bottom layer); denser
+    bumps condition the system better, exactly as more C4s flatten a
+    real PDN.  ``total_current`` (amps) is split 30% uniform background,
+    70% across ``hotspots`` Gaussian blobs placed by the seeded RNG.
+    """
+    if nx < 2 or ny < 2 or layers < 1:
+        raise ValueError("workload needs nx, ny >= 2 and layers >= 1")
+    outline = Rect(0.0, 0.0, nx * NODE_PITCH, ny * NODE_PITCH)
+    grid = Grid2D(outline, nx, ny)
+    model = StackModel()
+    keys = []
+    for layer in range(layers):
+        mesh = LayerMesh(
+            grid=grid,
+            gx=np.full((ny, nx - 1), EDGE_CONDUCTANCE),
+            gy=np.full((ny - 1, nx), EDGE_CONDUCTANCE),
+            name=f"M{layer + 1}",
+        )
+        keys.append(model.add_layer("stress", mesh, key=f"stress/M{layer + 1}"))
+    for below, above in zip(keys, keys[1:]):
+        model.connect_layers_uniform(below, above, VIA_DENSITY)
+
+    # Regular supply bump array on the bottom layer.
+    bumps = [
+        grid.node_point(i, j)
+        for i in range(bump_every // 2, nx, bump_every)
+        for j in range(bump_every // 2, ny, bump_every)
+    ]
+    model.connect_supply_at_points(keys[0], bumps, BUMP_CONDUCTANCE)
+
+    # Deterministic loads on the top layer: uniform background plus
+    # Gaussian hotspots (bank-activity stand-ins).
+    rng = np.random.default_rng(seed)
+    density = np.full((ny, nx), 0.3 * total_current / (nx * ny))
+    xs, ys = np.meshgrid(np.arange(nx), np.arange(ny))
+    sigma = max(min(nx, ny) / 16.0, 1.0)
+    blob_total = 0.7 * total_current / max(hotspots, 1)
+    for _ in range(hotspots):
+        cx = rng.uniform(0.1 * nx, 0.9 * nx)
+        cy = rng.uniform(0.1 * ny, 0.9 * ny)
+        blob = np.exp(-((xs - cx) ** 2 + (ys - cy) ** 2) / (2.0 * sigma**2))
+        density += blob_total * blob / blob.sum()
+
+    currents = np.zeros(model.num_nodes)
+    currents[model.layer_slice(keys[-1])] = density.ravel()
+    return SyntheticWorkload(
+        model=model,
+        currents=currents,
+        nx=nx,
+        ny=ny,
+        layers=layers,
+        seed=seed,
+    )
+
+
+def workload_for_nodes(
+    min_nodes: int,
+    layers: int = 3,
+    aspect: float = 1.0,
+    **kwargs,
+) -> SyntheticWorkload:
+    """The smallest square-ish workload with at least ``min_nodes`` nodes.
+
+    ``aspect`` stretches x over y (``nx ~ aspect * ny``).  This is the
+    entry point scaling benchmarks use: ask for ``4 * biggest_stack``
+    and get a mesh guaranteed to clear the bar.
+    """
+    if min_nodes < 4 * layers:
+        raise ValueError(f"min_nodes too small: {min_nodes}")
+    per_layer = min_nodes / layers
+    ny = max(int(math.ceil(math.sqrt(per_layer / aspect))), 2)
+    nx = max(int(math.ceil(per_layer / ny)), 2)
+    return synthetic_workload(nx, ny, layers=layers, **kwargs)
