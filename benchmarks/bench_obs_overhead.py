@@ -1,0 +1,187 @@
+"""Telemetry overhead gate: profiling a run must cost < 3% wall.
+
+Runs the fig5 TSV-count experiment in two interleaved legs:
+
+* **base** -- profiler stopped, convergence tracing disabled;
+* **telemetry** -- background resource sampler running at its default
+  interval (``REPRO_PROFILE_INTERVAL_MS``) plus convergence tracing
+  enabled (a no-op for the direct backend, but the enable/sample checks
+  still execute on every solve).
+
+A single warm fig5 run is ~60 ms -- too short to time against the
+several-ms scheduler noise of a shared CI box -- so each timed *window*
+runs the experiment ``INNER_RUNS`` times back to back (~0.5 s), noise
+averaging out within the window.  Windows alternate legs (order flipped
+every repeat) so drift hits both equally, and the reported overhead
+comes from the min-of-k window wall per leg, the standard way to strip
+scheduler noise.  A warmup pass populates the plan/assembly caches first
+so both legs measure solve + extraction work, not first-touch
+construction.
+
+The gate is twofold:
+
+* overhead < ``MAX_OVERHEAD_PCT`` (3%);
+* physics rows from every run of both legs are *exactly* equal --
+  telemetry must observe the computation, never perturb it.
+
+Results land in ``benchmarks/results/obs_overhead.json``.  Run directly
+(``python benchmarks/bench_obs_overhead.py``) or via the unified runner
+(``repro3d bench --names obs_overhead``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.bench import register_bench
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+MAX_OVERHEAD_PCT = 3.0
+WARMUP_RUNS = 3
+INNER_RUNS = 8
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+
+def _repeats() -> int:
+    # Windows per leg.  min-of-k converges on the true cost only once k
+    # outlasts the scheduler noise bursts of a shared (often
+    # single-core) CI box; at ~0.5 s per window this is a few seconds
+    # total.
+    return 7 if _smoke() else 9
+
+
+def _rows_of(result) -> list:
+    return [(row.label, row.model) for row in result.rows]
+
+
+def run_benchmark() -> dict:
+    from repro.experiments import run_experiment
+    from repro.obs import profile as _profile
+    from repro.rmesh import backends as _backends
+
+    trace_env_before = os.environ.get(_backends.CONVERGENCE_TRACE_ENV)
+
+    def _window(telemetry: bool):
+        if telemetry:
+            os.environ[_backends.CONVERGENCE_TRACE_ENV] = "1"
+            _profile.start_profiler()
+        else:
+            os.environ[_backends.CONVERGENCE_TRACE_ENV] = "0"
+        try:
+            rows_seen = []
+            t0 = time.perf_counter()
+            for _ in range(INNER_RUNS):
+                rows_seen.append(_rows_of(run_experiment("fig5", fast=True)))
+            wall = time.perf_counter() - t0
+        finally:
+            if telemetry:
+                _profile.stop_profiler(final_sample=False)
+            if trace_env_before is None:
+                os.environ.pop(_backends.CONVERGENCE_TRACE_ENV, None)
+            else:
+                os.environ[_backends.CONVERGENCE_TRACE_ENV] = trace_env_before
+        return wall, rows_seen
+
+    for _ in range(WARMUP_RUNS):
+        run_experiment("fig5", fast=True)
+
+    base_walls, telem_walls = [], []
+    reference_rows = None
+    rows_identical = True
+    for rep in range(_repeats()):
+        # Alternate leg order so slow drift cannot systematically favor
+        # whichever leg runs second within a pair.
+        order = (False, True) if rep % 2 == 0 else (True, False)
+        for telemetry in order:
+            wall, rows_seen = _window(telemetry)
+            (telem_walls if telemetry else base_walls).append(wall)
+            for rows in rows_seen:
+                if reference_rows is None:
+                    reference_rows = rows
+                elif rows != reference_rows:
+                    rows_identical = False
+
+    base = min(base_walls)
+    telem = min(telem_walls)
+    overhead_pct = (telem - base) / base * 100.0
+    sample_count = _profile.sample_count()
+
+    result = {
+        "benchmark": "telemetry overhead on fig5",
+        "smoke": _smoke(),
+        "repeats": _repeats(),
+        "inner_runs": INNER_RUNS,
+        "base_wall_s": round(base, 5),
+        "telemetry_wall_s": round(telem, 5),
+        "base_wall_s_all": [round(w, 5) for w in base_walls],
+        "telemetry_wall_s_all": [round(w, 5) for w in telem_walls],
+        "overhead_pct": round(overhead_pct, 3),
+        "max_overhead_pct": MAX_OVERHEAD_PCT,
+        "profile_samples": sample_count,
+        "rows_identical": rows_identical,
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "obs_overhead.json").write_text(
+        json.dumps(result, indent=2) + "\n"
+    )
+    return result
+
+
+@register_bench("obs_overhead")
+def test_obs_overhead_under_gate():
+    """Profiler + tracing overhead < 3% wall, physics bitwise-stable."""
+    result = run_benchmark()
+    print("\n" + json.dumps(result, indent=2))
+    assert result["rows_identical"], (
+        "telemetry leg produced different physics rows than the base leg"
+    )
+    assert result["overhead_pct"] < MAX_OVERHEAD_PCT, (
+        f"telemetry overhead {result['overhead_pct']}% exceeds the "
+        f"{MAX_OVERHEAD_PCT}% gate "
+        f"(base {result['base_wall_s']}s, "
+        f"telemetry {result['telemetry_wall_s']}s)"
+    )
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="telemetry overhead benchmark (see module docstring)"
+    )
+    parser.add_argument(
+        "--manifest-out", metavar="PATH", default=None,
+        help="write a run provenance manifest",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs import metrics as _metrics
+    from repro.obs.manifest import build_manifest
+    from repro.obs.trace import span
+
+    before = _metrics.snapshot()
+    with span("bench.obs_overhead", smoke=_smoke()) as sp:
+        result = run_benchmark()
+    print(json.dumps(result, indent=2))
+    assert result["rows_identical"]
+    assert result["overhead_pct"] < MAX_OVERHEAD_PCT
+    if args.manifest_out:
+        build_manifest(
+            experiment_id="bench.obs_overhead",
+            title="telemetry overhead gate",
+            config={"smoke": _smoke(), "repeats": result["repeats"]},
+            duration_s=sp.duration,
+            metrics_snapshot=_metrics.diff(before, _metrics.snapshot()),
+        ).write(args.manifest_out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

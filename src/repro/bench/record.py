@@ -132,13 +132,14 @@ class SuiteRecord:
         return json.dumps(self.to_dict(), indent=2, default=str) + "\n"
 
     def write(self, path) -> Path:
-        """Validate and write the record; returns the path written."""
+        """Validate and atomically write the record; returns the path."""
+        from repro.obs.atomic import atomic_write_text
+
         data = self.to_dict()
         validate_record(data)
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_json())
-        return path
+        return atomic_write_text(path, self.to_json())
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "SuiteRecord":

@@ -37,6 +37,7 @@ from repro.experiments import registry, run_experiment
 from repro.obs.log import configure, get_logger
 from repro.obs.manifest import build_manifest
 from repro.obs.metrics import write_metrics
+from repro.obs.profile import PROFILE_ENV, start_profiler
 from repro.obs.trace import span, write_chrome_trace
 from repro.pdn.config import Bonding
 from repro.pdn.stackup import build_stack
@@ -79,6 +80,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     if manifest_out is not None:
         args._manifest_written = True
+    args._last_manifest = result.manifest
     _log.info("%s", result.fmt())
     return 0
 
@@ -211,6 +213,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     root = benchmarks_dir().parent
     out = Path(args.out) if args.out else default_record_path(record, root)
     record.write(out)
+    args._bench_record = record
+    args._bench_record_path = out
     _log.info("%s", record_summary(record))
     _log.info("suite record: %s", out)
     # The trajectory lives next to the emitted record, so a redirected
@@ -255,6 +259,86 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _obs_store(args: argparse.Namespace):
+    """The run-history store an ``obs`` action operates on."""
+    from repro.obs.store import RunHistoryStore
+
+    return RunHistoryStore(args.store)
+
+
+def _cmd_obs_ingest(args: argparse.Namespace) -> int:
+    """Ingest manifests / BENCH records into the run-history store."""
+    store = _obs_store(args)
+    for path in args.paths:
+        run_id = store.ingest_path(path)
+        _log.info("ingested %s -> run %s", path, run_id)
+    return 0
+
+
+def _cmd_obs_list(args: argparse.Namespace) -> int:
+    """List stored runs, newest last."""
+    from repro.obs.store import list_markdown
+
+    store = _obs_store(args)
+    records = store.runs()
+    if not records:
+        _log.info("run history at %s is empty", store.index_path)
+        return 0
+    _log.info("%s", list_markdown(records))
+    return 0
+
+
+def _cmd_obs_show(args: argparse.Namespace) -> int:
+    """Show one stored run in full."""
+    from repro.obs.store import show_markdown
+
+    store = _obs_store(args)
+    _log.info("%s", show_markdown(store.resolve(args.run)))
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    """Diff two stored runs; attribute drift; optionally gate on it.
+
+    Backs both ``obs diff`` and ``obs attribute`` -- attribution *is*
+    the diff's verdict plus its evidence; the commands differ only in
+    emphasis, so they share one implementation and output format.
+    """
+    from repro.obs.atomic import atomic_write_text
+    from repro.obs.store import delta_markdown, diff_runs
+
+    store = _obs_store(args)
+    refs = args.runs or ["last~1", "last"]
+    if len(refs) != 2:
+        _log.error("expected exactly two run references, got %d", len(refs))
+        return 2
+    delta = diff_runs(store.resolve(refs[0]), store.resolve(refs[1]), store)
+    text = delta_markdown(delta)
+    _log.info("%s", text)
+    if args.out:
+        atomic_write_text(args.out, text + "\n")
+    if getattr(args, "gate", False) and delta.drift != "none":
+        _log.warning("drift gate failed: %s", delta.drift)
+        return 1
+    return 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    """Export a stored run as unified Chrome/Perfetto trace JSON."""
+    import json as _json
+
+    from repro.obs.atomic import atomic_write_text
+    from repro.obs.store import export_chrome_trace
+
+    store = _obs_store(args)
+    doc = export_chrome_trace(store.resolve(args.run))
+    atomic_write_text(args.out, _json.dumps(doc, default=str) + "\n")
+    _log.info(
+        "trace written: %s (%d events)", args.out, len(doc["traceEvents"])
+    )
+    return 0
+
+
 def _workers_arg(value: str) -> int:
     count = int(value)
     if count < 0:
@@ -276,6 +360,8 @@ _GLOBAL_DEFAULTS = {
     "trace_out": None,
     "metrics_out": None,
     "manifest_out": None,
+    "profile": False,
+    "history": False,
 }
 
 
@@ -339,6 +425,20 @@ def _global_options() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a run provenance manifest (defaults to "
         "<metrics/trace path>.manifest.json when those flags are set)",
+    )
+    common.add_argument(
+        "--profile",
+        action="store_true",
+        help="sample RSS/CPU/GC on a background thread for the whole run "
+        f"(sets {PROFILE_ENV}=1 so worker processes profile too); samples "
+        "land in the manifest and interleave with --trace-out as counter "
+        "tracks",
+    )
+    common.add_argument(
+        "--history",
+        action="store_true",
+        help="record this run in the run-history store when the command "
+        "finishes (query it with `repro3d obs`)",
     )
     return common
 
@@ -497,6 +597,88 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered benches and exit",
     )
     bench_p.set_defaults(func=_cmd_bench)
+
+    obs_p = sub.add_parser(
+        "obs",
+        help="query the run-history store: list/show/diff/attribute/export",
+        parents=[common],
+    )
+    obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
+
+    def _store_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--store",
+            metavar="DIR",
+            default=None,
+            help="history store directory (default: "
+            "benchmarks/results/history, or $REPRO_HISTORY_DIR)",
+        )
+
+    ingest_p = obs_sub.add_parser(
+        "ingest",
+        help="ingest run manifests or BENCH_*.json suite records",
+        parents=[common],
+    )
+    ingest_p.add_argument("paths", nargs="+", metavar="PATH")
+    _store_arg(ingest_p)
+    ingest_p.set_defaults(func=_cmd_obs_ingest)
+
+    list_p = obs_sub.add_parser(
+        "list", help="list stored runs", parents=[common]
+    )
+    _store_arg(list_p)
+    list_p.set_defaults(func=_cmd_obs_list)
+
+    show_p = obs_sub.add_parser(
+        "show", help="show one stored run in full", parents=[common]
+    )
+    show_p.add_argument(
+        "run",
+        nargs="?",
+        default="last",
+        help="run reference: last, last~N, or a run-id prefix (default last)",
+    )
+    _store_arg(show_p)
+    show_p.set_defaults(func=_cmd_obs_show)
+
+    for name, help_text in (
+        ("diff", "render the delta between two stored runs as markdown"),
+        ("attribute", "attribute run-vs-run drift: structural (plan diff) "
+         "vs numerical (metric/residual deltas)"),
+    ):
+        action_p = obs_sub.add_parser(name, help=help_text, parents=[common])
+        action_p.add_argument(
+            "runs",
+            nargs="*",
+            metavar="RUN",
+            help="two run references (default: last~1 last)",
+        )
+        action_p.add_argument(
+            "--out", metavar="PATH", help="also write the markdown to PATH"
+        )
+        action_p.add_argument(
+            "--gate",
+            action="store_true",
+            help="exit nonzero when any drift is detected (the CI mode)",
+        )
+        _store_arg(action_p)
+        action_p.set_defaults(func=_cmd_obs_diff)
+
+    export_p = obs_sub.add_parser(
+        "export",
+        help="export a stored run as unified Chrome/Perfetto trace JSON "
+        "(spans + profiler counter tracks)",
+        parents=[common],
+    )
+    export_p.add_argument("run", nargs="?", default="last")
+    export_p.add_argument(
+        "--out",
+        metavar="PATH",
+        default="obs_trace.json",
+        help="output path (default obs_trace.json)",
+    )
+    _store_arg(export_p)
+    export_p.set_defaults(func=_cmd_obs_export)
     return parser
 
 
@@ -516,6 +698,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # environment, so one flag covers every solve in the run
         # (including worker processes, which inherit the environment).
         os.environ[SOLVER_ENV] = resolve_backend(args.solver)
+    if args.profile:
+        # Environment first so worker processes inherit the switch, then
+        # the sampler itself for this process.
+        os.environ[PROFILE_ENV] = "1"
+        start_profiler()
     with span(f"cli.{args.command}") as sp:
         code = args.func(args)
     if args.perf_report:
@@ -525,15 +712,41 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.metrics_out:
         write_metrics(args.metrics_out)
     manifest_path = _manifest_path(args)
+    fallback_manifest = None
     if manifest_path is not None and not getattr(args, "_manifest_written", False):
         # Commands without a dedicated manifest (list/all/solve) still
         # get a provenance receipt covering the whole invocation.
-        build_manifest(
+        fallback_manifest = build_manifest(
             experiment_id=f"cli.{args.command}",
             title=f"repro3d {args.command}",
             config={"command": args.command, "full": getattr(args, "full", False)},
             duration_s=sp.duration,
-        ).write(manifest_path)
+        )
+        fallback_manifest.write(manifest_path)
+    if args.history:
+        from repro.obs.store import RunHistoryStore
+
+        store = RunHistoryStore()
+        record = getattr(args, "_bench_record", None)
+        if record is not None:
+            run_id = store.ingest_bench_record(
+                record.to_dict(),
+                source=getattr(args, "_bench_record_path", None),
+            )
+        else:
+            manifest = getattr(args, "_last_manifest", None) or fallback_manifest
+            if manifest is None:
+                manifest = build_manifest(
+                    experiment_id=f"cli.{args.command}",
+                    title=f"repro3d {args.command}",
+                    config={
+                        "command": args.command,
+                        "full": getattr(args, "full", False),
+                    },
+                    duration_s=sp.duration,
+                )
+            run_id = store.ingest_live_run(manifest)
+        _log.info("run recorded in history: %s", run_id)
     return code
 
 

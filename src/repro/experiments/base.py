@@ -147,8 +147,10 @@ def run_experiment(
     from repro.obs import metrics as _metrics
     from repro.obs.manifest import build_manifest
     from repro.obs.trace import span
+    from repro.rmesh import backends as _backends
 
     before = _metrics.snapshot()
+    traces_before = _backends.trace_count()
     with span(f"experiment.{experiment_id}", fast=fast) as sp:
         result = registry[experiment_id](fast=fast)
     result.manifest = build_manifest(
@@ -157,6 +159,7 @@ def run_experiment(
         config={"experiment": experiment_id, "fast": fast},
         duration_s=sp.duration,
         metrics_snapshot=_metrics.diff(before, _metrics.snapshot()),
+        convergence=_backends.export_traces(since=traces_before),
     )
     if manifest_out is not None:
         result.manifest.write(manifest_out)

@@ -12,7 +12,14 @@ Gives every run a complete, machine-readable account of itself:
   summaries, queue depths) with cross-process snapshot merging
   (``--metrics-out``);
 * :mod:`repro.obs.manifest` -- per-experiment provenance records (git
-  SHA, config hash, seeds, environment, metric delta, span digest).
+  SHA, config hash, seeds, environment, metric delta, span digest);
+* :mod:`repro.obs.profile` -- background resource sampler (RSS, CPU
+  time, GC stats) whose samples attach to the active span tree and
+  interleave with trace exports as Perfetto counter tracks;
+* :mod:`repro.obs.store` -- append-only run-history store with
+  run-vs-run drift attribution (``repro3d obs``);
+* :mod:`repro.obs.atomic` -- atomic artifact writes (temp sibling +
+  ``os.replace``) shared by every JSON emitter above.
 
 Dependency direction: ``repro.perf`` (and the rest of the library)
 builds on ``repro.obs``; nothing in this package imports ``repro.perf``
@@ -34,6 +41,7 @@ from repro.obs.manifest import (
     load_manifest,
     validate_manifest,
 )
+from repro.obs.atomic import atomic_write_text
 from repro.obs.metrics import (
     MetricsRegistry,
     full_snapshot,
@@ -41,6 +49,16 @@ from repro.obs.metrics import (
     reset_metrics,
     write_metrics,
 )
+from repro.obs.profile import (
+    BoundedSeries,
+    ProfileSample,
+    ensure_profiler,
+    profiling_enabled,
+    reset_profile,
+    start_profiler,
+    stop_profiler,
+)
+from repro.obs.store import RunHistoryStore, diff_runs
 from repro.obs.trace import (
     SpanRecord,
     reset_trace,
@@ -50,23 +68,33 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "BoundedSeries",
     "JsonLinesFormatter",
     "MetricsRegistry",
+    "ProfileSample",
+    "RunHistoryStore",
     "RunManifest",
     "SpanRecord",
+    "atomic_write_text",
     "build_manifest",
     "config_hash_of",
     "configure",
+    "diff_runs",
+    "ensure_profiler",
     "full_snapshot",
     "get_logger",
     "git_revision",
     "load_manifest",
     "log_event",
+    "profiling_enabled",
     "registry",
     "reset_metrics",
+    "reset_profile",
     "reset_trace",
     "resolve_level",
     "span",
+    "start_profiler",
+    "stop_profiler",
     "to_chrome_trace",
     "validate_manifest",
     "write_chrome_trace",

@@ -1,0 +1,50 @@
+"""Atomic file writes for observability artifacts.
+
+Every JSON artifact the platform emits (metrics snapshots, Chrome
+traces, run manifests, bench suite records, run-history entries) is a
+contract with a later reader -- CI validation, the regression
+comparator, the run-history store.  A plain ``Path.write_text`` can be
+interrupted half-way (crashed run, OOM-killed worker, two parallel runs
+racing on the same path) and leave a truncated document that poisons
+that reader.
+
+:func:`atomic_write_text` closes the hole with the standard POSIX
+recipe: write the full payload to a temporary sibling in the *same*
+directory (same filesystem, so the final step cannot degrade to a
+copy), flush and fsync it, then ``os.replace`` it over the target.
+Readers see either the old complete file or the new complete file,
+never a prefix of the new one.  Concurrent writers last-write-wins at
+whole-file granularity, which is exactly the semantics the artifact
+paths want.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> Path:
+    """Write ``text`` to ``path`` atomically; returns the path written.
+
+    The temporary sibling is namespaced by pid, so two processes
+    writing the same target never trample each other's staging file.
+    On any failure the temporary file is removed and the original
+    target (if one existed) is left untouched.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path

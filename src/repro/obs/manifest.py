@@ -55,6 +55,12 @@ OPTIONAL_MANIFEST_FIELDS: Dict[str, tuple] = {
     # ``{plan hash: benchmark name}`` of every stack plan the run built
     # or reused -- the structural identity behind the run's IR numbers.
     "plans": (dict,),
+    # Resource-profiler digest (:func:`repro.obs.profile.summary`):
+    # sample count, peak RSS, CPU time, bounded RSS/CPU curve.
+    "profile": (dict,),
+    # Solver convergence traces recorded during the run
+    # (:class:`repro.rmesh.backends.ResidualTrace` dicts).
+    "convergence": (list,),
 }
 
 
@@ -78,6 +84,10 @@ class RunManifest:
     extra: Dict[str, object] = field(default_factory=dict)
     #: Stack plans the run touched: {plan hash: benchmark name}.
     plans: Dict[str, object] = field(default_factory=dict)
+    #: Resource-profiler digest (empty when profiling was off).
+    profile: Dict[str, object] = field(default_factory=dict)
+    #: Solver convergence traces recorded during the run.
+    convergence: list = field(default_factory=list)
     schema_version: int = SCHEMA_VERSION
 
     def to_dict(self) -> Dict[str, object]:
@@ -87,12 +97,12 @@ class RunManifest:
         return json.dumps(self.to_dict(), indent=2, default=str) + "\n"
 
     def write(self, path) -> Path:
-        """Validate and write the manifest; returns the path written."""
+        """Validate and atomically write the manifest; returns the path."""
+        from repro.obs.atomic import atomic_write_text
+
         data = self.to_dict()
         validate_manifest(data)
-        path = Path(path)
-        path.write_text(self.to_json())
-        return path
+        return atomic_write_text(path, self.to_json())
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "RunManifest":
@@ -215,16 +225,21 @@ def build_manifest(
     seeds: Optional[Mapping[str, int]] = None,
     metrics_snapshot: Optional[Mapping[str, object]] = None,
     extra: Optional[Mapping[str, object]] = None,
+    convergence: Optional[list] = None,
 ) -> RunManifest:
     """Assemble a manifest from the current process state.
 
     ``metrics_snapshot`` defaults to the global registry's current state;
     callers that track a per-run delta (``run_experiment`` does) pass it
     explicitly.  ``workers`` defaults to the resolved ``REPRO_WORKERS``
-    setting, matching what the sweeps actually used.
+    setting, matching what the sweeps actually used.  ``convergence``
+    defaults to every solver residual trace currently buffered; pass the
+    per-run delta to scope it (``run_experiment`` does).  The profiler
+    digest is included whenever samples exist.
     """
     # Lazy imports: repro.perf depends on repro.obs, not the reverse.
     from repro.obs import metrics as _metrics
+    from repro.obs import profile as _profile
     from repro.obs import trace as _trace
     from repro.perf.parallel import resolve_workers
     from repro.perf.timers import snapshot as timers_snapshot
@@ -235,6 +250,11 @@ def build_manifest(
         if metrics_snapshot is not None
         else _metrics.snapshot()
     )
+    if convergence is None:
+        # Lazy: repro.obs must stay importable without repro.rmesh.
+        from repro.rmesh.backends import export_traces
+
+        convergence = export_traces()
     return RunManifest(
         experiment_id=experiment_id,
         title=title,
@@ -252,6 +272,8 @@ def build_manifest(
         },
         metrics=metrics,
         plans=_plans_of(metrics),
+        profile=_profile.summary() if _profile.sample_count() else {},
+        convergence=list(convergence),
         timers={
             name: {"total_s": total, "count": count}
             for name, (total, count) in sorted(timers_snapshot().items())

@@ -30,7 +30,6 @@ from __future__ import annotations
 
 import json
 import threading
-from pathlib import Path
 from typing import Dict, Mapping, Optional
 
 Snapshot = Dict[str, Dict[str, object]]
@@ -247,5 +246,11 @@ def full_snapshot() -> Dict[str, object]:
 
 
 def write_metrics(path) -> None:
-    """Write the full metrics + timers snapshot to ``path`` as JSON."""
-    Path(path).write_text(json.dumps(full_snapshot(), indent=2) + "\n")
+    """Write the full metrics + timers snapshot to ``path`` as JSON.
+
+    Atomic (temp sibling + ``os.replace``): a crashed or concurrent run
+    never leaves a truncated snapshot for the comparator to choke on.
+    """
+    from repro.obs.atomic import atomic_write_text
+
+    atomic_write_text(path, json.dumps(full_snapshot(), indent=2) + "\n")

@@ -1,0 +1,759 @@
+"""Append-only run-history store with run-vs-run drift attribution.
+
+Every manifest, metric snapshot, span digest, convergence trace, and
+``BENCH_*.json`` record answers "what did *this* run do"; none of them
+answer "how does it compare to the last hundred".  This module is that
+longitudinal memory: a JSONL index (one normalized record per line,
+append-only, atomic at line granularity) plus a content-addressed plan
+directory, both under ``benchmarks/results/history/`` (git-ignored,
+like every generated artifact).
+
+A stored record is keyed by run id (content hash), git sha, and the set
+of plan hashes the run touched.  Plan *bodies* are stored once per hash
+under ``plans/<hash>.json``, so a diff between two historical runs can
+render a real :class:`repro.pdn.plan.PlanDiff` -- the ops that changed
+-- instead of only reporting that hashes differ.
+
+Drift between two runs is *attributed*, not just detected, following
+the measured-vs-modeled discipline of Ghose et al. (arXiv:1807.05102):
+
+``structural``
+    The runs solved different structures (plan-hash sets differ).  The
+    evidence is the plan diff itself; comparing their IR numbers as if
+    they were the same experiment would be meaningless.
+
+``numerical``
+    Same structures, different numbers: IR-drop extrema moved, solver
+    residual curves converge to different floors (a perturbed ``rtol``
+    shows up here), or iteration counts shifted.  The evidence is the
+    metric and residual-curve deltas.
+
+``none``
+    Same structures, numbers within tolerance -- the CI smoke gate
+    (``repro3d obs diff --gate``) requires exactly this for a run
+    diffed against a repeat of itself.
+
+The CLI front end is ``repro3d obs`` (list/show/diff/attribute/export);
+see :mod:`repro.cli`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.obs.atomic import atomic_write_text
+from repro.obs.log import get_logger
+
+_log = get_logger("obs.store")
+
+#: Bump when the normalized record layout changes incompatibly.
+STORE_SCHEMA_VERSION = 1
+
+#: Environment override for the store location.
+HISTORY_DIR_ENV = "REPRO_HISTORY_DIR"
+
+#: Index file name inside the store root.
+INDEX_NAME = "runs.jsonl"
+
+#: Max IR-drop delta (mV) two same-structure runs may differ by before
+#: the attribution flips to numerical drift.  The golden IR baseline is
+#: bitwise, so any real change lands far above this.
+IR_DRIFT_MV = 1e-6
+
+#: Residual-floor ratio between matched convergence-trace groups above
+#: which the attribution flips to numerical drift (a one-notch rtol
+#: perturbation moves the floor by orders of magnitude).
+RESIDUAL_DRIFT_RATIO = 10.0
+
+#: Relative iteration-count change between matched trace groups above
+#: which numerical drift is reported.
+ITERATION_DRIFT_REL = 0.25
+
+
+def default_history_dir() -> Path:
+    """Store root: ``$REPRO_HISTORY_DIR`` > ``benchmarks/results/history``."""
+    env = os.environ.get(HISTORY_DIR_ENV)
+    if env:
+        return Path(env)
+    try:
+        # Lazy: obs must stay importable without the bench package.
+        from repro.bench.registry import benchmarks_dir
+
+        return benchmarks_dir() / "results" / "history"
+    except Exception:  # pragma: no cover - outside a repo checkout
+        return Path.cwd() / "benchmarks" / "results" / "history"
+
+
+def _strip_samples(histograms: Mapping[str, object]) -> Dict[str, object]:
+    """Histogram stats without the raw sample reservoirs (index stays lean)."""
+    out: Dict[str, object] = {}
+    for name, h in histograms.items():
+        if isinstance(h, Mapping):
+            out[name] = {k: v for k, v in h.items() if k != "samples"}
+    return out
+
+
+def normalize_manifest(
+    data: Mapping[str, object], source=None, kind: str = "experiment"
+) -> Dict[str, object]:
+    """Flatten a run manifest into the store's normalized record shape."""
+    git = data.get("git") or {}
+    metrics = data.get("metrics") or {}
+    if not isinstance(git, Mapping):
+        git = {}
+    if not isinstance(metrics, Mapping):
+        metrics = {}
+    return {
+        "schema_version": STORE_SCHEMA_VERSION,
+        "kind": kind,
+        "experiment_id": str(data.get("experiment_id", "")),
+        "title": str(data.get("title", "")),
+        "created": str(data.get("created", "")),
+        "duration_s": float(data.get("duration_s", 0.0) or 0.0),
+        "sha": str(git.get("sha", "unknown")),
+        "dirty": bool(git.get("dirty")),
+        "config_hash": data.get("config_hash"),
+        "workers": int(data.get("workers", 1) or 1),
+        "plans": dict(data.get("plans") or {}),
+        "counters": dict(metrics.get("counters") or {}),
+        "gauges": dict(metrics.get("gauges") or {}),
+        "histograms": _strip_samples(metrics.get("histograms") or {}),
+        "trace": dict(data.get("trace") or {}),
+        "profile": dict(data.get("profile") or {}),
+        "convergence": list(data.get("convergence") or []),
+        "benches": [],
+        "source": str(source) if source is not None else None,
+    }
+
+
+def normalize_bench_record(
+    data: Mapping[str, object], source=None
+) -> Dict[str, object]:
+    """Flatten a ``BENCH_*.json`` suite record into the store shape."""
+    manifest = data.get("manifest") or {}
+    record = normalize_manifest(
+        manifest if isinstance(manifest, Mapping) else {},
+        source=source,
+        kind="bench_suite",
+    )
+    git = data.get("git") or {}
+    record["experiment_id"] = str(data.get("suite", "bench"))
+    record["title"] = (
+        f"bench suite ({'smoke' if data.get('smoke') else 'full'}, "
+        f"repeats={data.get('repeats', '?')})"
+    )
+    record["created"] = str(data.get("created", record["created"]))
+    if isinstance(git, Mapping) and git.get("sha"):
+        record["sha"] = str(git["sha"])
+        record["dirty"] = bool(git.get("dirty"))
+    record["workers"] = int(data.get("workers", record["workers"]) or 1)
+    plans = dict(record["plans"])
+    benches: List[Dict[str, object]] = []
+    for entry in data.get("benchmarks") or []:
+        if not isinstance(entry, Mapping):
+            continue
+        hashes = [str(h) for h in entry.get("plan_hashes") or []]
+        benches.append(
+            {
+                "name": str(entry.get("name", "")),
+                "status": str(entry.get("status", "")),
+                "wall_s": entry.get("wall_s"),
+                "max_ir_mv": entry.get("max_ir_mv"),
+                "plan_hashes": hashes,
+            }
+        )
+        for h in hashes:
+            plans.setdefault(h, str(entry.get("name", h)))
+    record["benches"] = benches
+    record["plans"] = plans
+    return record
+
+
+def _run_id(record: Mapping[str, object]) -> str:
+    """Content address of a normalized record (12 hex chars)."""
+    text = json.dumps(record, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(text.encode()).hexdigest()[:12]
+
+
+class RunHistoryStore:
+    """The append-only run index plus its content-addressed plan bodies."""
+
+    def __init__(self, root=None) -> None:
+        self.root = Path(root) if root is not None else default_history_dir()
+        self.index_path = self.root / INDEX_NAME
+        self.plans_dir = self.root / "plans"
+
+    # -- writing --------------------------------------------------------------
+
+    def append(self, record: Dict[str, object]) -> str:
+        """Append one normalized record; returns its run id.
+
+        The id is the content hash of the record *without* the id field,
+        so re-ingesting identical content yields the same id (and is
+        skipped).  The JSONL line is written with a single ``write`` +
+        flush -- appends from concurrent runs interleave at line
+        granularity, never mid-line, on POSIX append-mode files.
+        """
+        record = dict(record)
+        record.pop("run_id", None)
+        run_id = _run_id(record)
+        if any(r.get("run_id") == run_id for r in self.runs()):
+            _log.debug("run %s already in history; skipping", run_id)
+            return run_id
+        record["run_id"] = run_id
+        self.root.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        with open(self.index_path, "a", encoding="utf-8") as fh:
+            fh.write(line)
+            fh.flush()
+        return run_id
+
+    def ingest_manifest(self, manifest, source=None, kind: str = "experiment") -> str:
+        """Ingest a :class:`RunManifest` (or its dict form); returns run id."""
+        data = manifest.to_dict() if hasattr(manifest, "to_dict") else dict(manifest)
+        return self.append(normalize_manifest(data, source=source, kind=kind))
+
+    def ingest_bench_record(self, data: Mapping[str, object], source=None) -> str:
+        """Ingest a ``BENCH_*.json`` suite record dict; returns run id."""
+        return self.append(normalize_bench_record(data, source=source))
+
+    def ingest_path(self, path) -> str:
+        """Ingest a JSON artifact, sniffing manifest vs. bench record."""
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(f"cannot ingest {path}: {exc}")
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(f"{path} is not a JSON object")
+        if "benchmarks" in data and "suite" in data:
+            return self.ingest_bench_record(data, source=path)
+        if "experiment_id" in data:
+            return self.ingest_manifest(data, source=path)
+        raise ConfigurationError(
+            f"{path} is neither a run manifest nor a bench suite record"
+        )
+
+    def ingest_live_run(self, manifest, source=None, kind: str = "cli") -> str:
+        """Ingest the *current process's* run: manifest plus live buffers.
+
+        Beyond the manifest content, this persists the plan bodies of
+        every plan the process built (content-addressed, so repeats are
+        free) and backfills profile/convergence from the live buffers
+        when the manifest predates them.
+        """
+        data = manifest.to_dict() if hasattr(manifest, "to_dict") else dict(manifest)
+        record = normalize_manifest(data, source=source, kind=kind)
+        if not record["profile"]:
+            from repro.obs import profile as _profile
+
+            if _profile.sample_count():
+                record["profile"] = _profile.summary()
+        if not record["convergence"]:
+            from repro.rmesh import backends as _backends
+
+            record["convergence"] = _backends.export_traces()
+        # Persist the bodies of every plan this process actually built.
+        try:
+            from repro.pdn.plan import observed_plan_objects
+
+            for plan_hash, plan in observed_plan_objects().items():
+                if plan_hash in record["plans"]:
+                    self.store_plan(plan)
+        except ImportError:  # pragma: no cover - pdn always present in-tree
+            pass
+        return self.append(record)
+
+    def store_plan(self, plan) -> Path:
+        """Persist one plan body content-addressed; idempotent."""
+        self.plans_dir.mkdir(parents=True, exist_ok=True)
+        path = self.plans_dir / f"{plan.plan_hash}.json"
+        if not path.exists():
+            atomic_write_text(path, plan.to_json())
+        return path
+
+    # -- reading --------------------------------------------------------------
+
+    def runs(self) -> List[Dict[str, object]]:
+        """All stored records, oldest first; corrupt lines are skipped."""
+        if not self.index_path.exists():
+            return []
+        out: List[Dict[str, object]] = []
+        for lineno, line in enumerate(
+            self.index_path.read_text().splitlines(), start=1
+        ):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                _log.warning(
+                    "skipping corrupt history line %d in %s",
+                    lineno,
+                    self.index_path,
+                )
+                continue
+            if isinstance(data, dict):
+                out.append(data)
+        return out
+
+    def resolve(self, ref: str) -> Dict[str, object]:
+        """A record by reference: ``last``, ``last~N``, or a run-id prefix."""
+        runs = self.runs()
+        if not runs:
+            raise ConfigurationError(
+                f"run history at {self.index_path} is empty; ingest a run "
+                "first (repro3d obs ingest <manifest>, or --history)"
+            )
+        ref = ref.strip()
+        if ref == "last":
+            return runs[-1]
+        if ref.startswith("last~"):
+            try:
+                back = int(ref[len("last~"):])
+            except ValueError:
+                raise ConfigurationError(f"bad run reference {ref!r}")
+            if back < 0 or back >= len(runs):
+                raise ConfigurationError(
+                    f"{ref!r} is out of range: history holds {len(runs)} runs"
+                )
+            return runs[-1 - back]
+        matches = [
+            r for r in runs if str(r.get("run_id", "")).startswith(ref)
+        ]
+        if not matches:
+            raise ConfigurationError(
+                f"no stored run matches {ref!r}; see repro3d obs list"
+            )
+        # A full-id (or unambiguous-prefix) match wins; re-ingested ids
+        # are identical records, so taking the newest is safe either way.
+        return matches[-1]
+
+    def load_plan(self, plan_hash: str):
+        """The stored :class:`StackPlan` body for a hash, or None."""
+        path = self.plans_dir / f"{plan_hash}.json"
+        if not path.exists():
+            return None
+        from repro.pdn.plan import StackPlan
+
+        try:
+            return StackPlan.from_json(path.read_text())
+        except ConfigurationError:  # pragma: no cover - corrupted body
+            _log.warning("stored plan %s failed validation", plan_hash)
+            return None
+
+
+# ---------------------------------------------------------------------------
+# Run-vs-run deltas and drift attribution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RunDelta:
+    """The comparison of two stored runs, drift attributed."""
+
+    a: Dict[str, object]
+    b: Dict[str, object]
+    #: ``none`` | ``structural`` | ``numerical``
+    drift: str = "none"
+    #: Human-readable evidence lines for the verdict.
+    evidence: List[str] = field(default_factory=list)
+    #: Rendered :class:`PlanDiff` text per benchmark (structural drift).
+    plan_diffs: List[str] = field(default_factory=list)
+    #: ``(metric, a value, b value)`` rows that moved.
+    metric_deltas: List[tuple] = field(default_factory=list)
+    #: Per trace-group residual comparisons (numerical drift evidence).
+    residual_deltas: List[Dict[str, object]] = field(default_factory=list)
+
+
+def _ir_extremum(record: Mapping[str, object]) -> Optional[float]:
+    """Worst DRAM IR drop (mV) a record observed, from any of its carriers."""
+    hists = record.get("histograms") or {}
+    h = hists.get("ir.dram_max_mv") if isinstance(hists, Mapping) else None
+    if isinstance(h, Mapping) and isinstance(h.get("max"), (int, float)):
+        return float(h["max"])
+    gauges = record.get("gauges") or {}
+    g = gauges.get("ir.dram_max_mv") if isinstance(gauges, Mapping) else None
+    if isinstance(g, (int, float)):
+        return float(g)
+    worst: Optional[float] = None
+    for bench in record.get("benches") or []:
+        v = bench.get("max_ir_mv") if isinstance(bench, Mapping) else None
+        if isinstance(v, (int, float)):
+            worst = v if worst is None else max(worst, v)
+    return worst
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def _trace_groups(
+    record: Mapping[str, object],
+) -> Dict[tuple, Dict[str, float]]:
+    """Convergence traces grouped by (backend, preconditioner, nodes).
+
+    Each group reduces to its median final residual, median iteration
+    count, and the rtol it ran at -- the comparable fingerprint of "how
+    did solves of this system behave".
+    """
+    groups: Dict[tuple, Dict[str, List[float]]] = {}
+    for t in record.get("convergence") or []:
+        if not isinstance(t, Mapping):
+            continue
+        key = (t.get("backend"), t.get("preconditioner"), t.get("nodes"))
+        g = groups.setdefault(
+            key, {"final": [], "iterations": [], "rtol": []}
+        )
+        if isinstance(t.get("final_residual"), (int, float)):
+            g["final"].append(float(t["final_residual"]))
+        if isinstance(t.get("iterations"), (int, float)):
+            g["iterations"].append(float(t["iterations"]))
+        if isinstance(t.get("rtol"), (int, float)):
+            g["rtol"].append(float(t["rtol"]))
+    out: Dict[tuple, Dict[str, float]] = {}
+    for key, g in groups.items():
+        if not g["final"]:
+            continue
+        out[key] = {
+            "final": _median(g["final"]),
+            "iterations": _median(g["iterations"]) if g["iterations"] else 0.0,
+            "rtol": _median(g["rtol"]) if g["rtol"] else 0.0,
+            "count": float(len(g["final"])),
+        }
+    return out
+
+
+def _structural_evidence(
+    a: Mapping[str, object],
+    b: Mapping[str, object],
+    store: Optional[RunHistoryStore],
+    delta: RunDelta,
+) -> None:
+    """Fill plan-diff evidence for runs whose plan-hash sets differ."""
+    plans_a = dict(a.get("plans") or {})
+    plans_b = dict(b.get("plans") or {})
+    gone = sorted(set(plans_a) - set(plans_b))
+    new = sorted(set(plans_b) - set(plans_a))
+    delta.evidence.append(
+        f"plan-hash sets differ: -{len(gone)} +{len(new)} "
+        f"({len(set(plans_a) & set(plans_b))} shared)"
+    )
+    # Pair changed hashes by benchmark name and render real op diffs
+    # when both bodies are stored; fall back to the hash listing.
+    by_name_a = {name: h for h, name in plans_a.items()}
+    by_name_b = {name: h for h, name in plans_b.items()}
+    rendered = set()
+    if store is not None:
+        from repro.pdn.plan import PlanDiff
+
+        for name in sorted(set(by_name_a) & set(by_name_b)):
+            ha, hb = by_name_a[name], by_name_b[name]
+            if ha == hb:
+                continue
+            pa, pb = store.load_plan(ha), store.load_plan(hb)
+            if pa is None or pb is None:
+                continue
+            diff = PlanDiff.between(pa, pb)
+            delta.plan_diffs.append(f"[{name}]\n{diff.describe()}")
+            rendered.update((ha, hb))
+    for h in gone:
+        if h not in rendered:
+            delta.evidence.append(f"  - plan {h} ({plans_a[h]}) no longer touched")
+    for h in new:
+        if h not in rendered:
+            delta.evidence.append(f"  + plan {h} ({plans_b[h]}) newly touched")
+
+
+def _numerical_evidence(
+    a: Mapping[str, object], b: Mapping[str, object], delta: RunDelta
+) -> bool:
+    """Fill metric/residual evidence; returns True when drift was found."""
+    found = False
+    ir_a, ir_b = _ir_extremum(a), _ir_extremum(b)
+    if ir_a is not None and ir_b is not None:
+        if abs(ir_a - ir_b) > IR_DRIFT_MV:
+            found = True
+            delta.evidence.append(
+                f"worst DRAM IR drop moved: {ir_a:.6f} -> {ir_b:.6f} mV"
+            )
+            delta.metric_deltas.append(("ir.dram_max_mv (max)", ir_a, ir_b))
+    groups_a, groups_b = _trace_groups(a), _trace_groups(b)
+    for key in sorted(
+        set(groups_a) & set(groups_b), key=lambda k: tuple(map(str, k))
+    ):
+        ga, gb = groups_a[key], groups_b[key]
+        label = f"{key[0]}/{key[1]}@{key[2]} nodes"
+        row: Dict[str, object] = {
+            "group": label,
+            "final_a": ga["final"],
+            "final_b": gb["final"],
+            "iterations_a": ga["iterations"],
+            "iterations_b": gb["iterations"],
+            "rtol_a": ga["rtol"],
+            "rtol_b": gb["rtol"],
+        }
+        drifted = False
+        lo, hi = sorted((ga["final"], gb["final"]))
+        if lo > 0 and hi / lo > RESIDUAL_DRIFT_RATIO:
+            drifted = True
+            delta.evidence.append(
+                f"residual floor of {label} moved {hi / lo:.1e}x: "
+                f"{ga['final']:.3e} -> {gb['final']:.3e}"
+            )
+        elif lo == 0 and hi > 0:  # pragma: no cover - exact-zero floor
+            drifted = True
+            delta.evidence.append(
+                f"residual floor of {label}: {ga['final']:.3e} -> {gb['final']:.3e}"
+            )
+        base = max(ga["iterations"], 1.0)
+        if abs(gb["iterations"] - ga["iterations"]) / base > ITERATION_DRIFT_REL:
+            drifted = True
+            delta.evidence.append(
+                f"median iterations of {label}: "
+                f"{ga['iterations']:.0f} -> {gb['iterations']:.0f}"
+            )
+        if ga["rtol"] != gb["rtol"] and ga["rtol"] and gb["rtol"]:
+            drifted = True
+            delta.evidence.append(
+                f"solver rtol of {label}: {ga['rtol']:.1e} -> {gb['rtol']:.1e}"
+            )
+        if drifted:
+            found = True
+            delta.residual_deltas.append(row)
+    for gauge in ("solver.residual_norm",):
+        ga_ = (a.get("gauges") or {}).get(gauge)
+        gb_ = (b.get("gauges") or {}).get(gauge)
+        if isinstance(ga_, (int, float)) and isinstance(gb_, (int, float)):
+            lo, hi = sorted((float(ga_), float(gb_)))
+            if lo > 0 and hi / lo > RESIDUAL_DRIFT_RATIO:
+                found = True
+                delta.evidence.append(
+                    f"{gauge} gauge moved {hi / lo:.1e}x: {ga_:.3e} -> {gb_:.3e}"
+                )
+                delta.metric_deltas.append((gauge, float(ga_), float(gb_)))
+    return found
+
+
+def diff_runs(
+    a: Mapping[str, object],
+    b: Mapping[str, object],
+    store: Optional[RunHistoryStore] = None,
+) -> RunDelta:
+    """Compare two stored records and attribute any drift."""
+    delta = RunDelta(a=dict(a), b=dict(b))
+    plans_a, plans_b = set(a.get("plans") or {}), set(b.get("plans") or {})
+    if plans_a != plans_b and (plans_a or plans_b):
+        delta.drift = "structural"
+        _structural_evidence(a, b, store, delta)
+        return delta
+    if _numerical_evidence(a, b, delta):
+        delta.drift = "numerical"
+    return delta
+
+
+# ---------------------------------------------------------------------------
+# Markdown rendering (the `repro3d obs` output surface)
+# ---------------------------------------------------------------------------
+
+
+def _describe_run(record: Mapping[str, object]) -> str:
+    rid = record.get("run_id", "?")
+    exp = record.get("experiment_id") or record.get("kind", "?")
+    sha = str(record.get("sha", "unknown"))[:7]
+    return f"`{rid}` ({exp} @ {sha})"
+
+
+def run_summary_line(record: Mapping[str, object]) -> str:
+    """One ``obs list`` table row for a record."""
+    rid = record.get("run_id", "?")
+    created = str(record.get("created", ""))[:19]
+    kind = record.get("kind", "?")
+    exp = record.get("experiment_id", "")
+    sha = str(record.get("sha", "unknown"))[:7]
+    plans = len(record.get("plans") or {})
+    traces = len(record.get("convergence") or [])
+    prof = (record.get("profile") or {}).get("samples", 0)
+    dur = record.get("duration_s", 0.0)
+    return (
+        f"| {rid} | {created} | {kind} | {exp} | {sha} | {plans} "
+        f"| {traces} | {prof} | {dur:.2f} |"
+    )
+
+
+def list_markdown(records: Sequence[Mapping[str, object]]) -> str:
+    """The ``obs list`` table, newest last."""
+    lines = [
+        "| run | created | kind | experiment | sha | plans | traces "
+        "| profile samples | duration s |",
+        "|---|---|---|---|---|---|---|---|---|",
+    ]
+    lines.extend(run_summary_line(r) for r in records)
+    return "\n".join(lines)
+
+
+def show_markdown(record: Mapping[str, object]) -> str:
+    """The ``obs show`` rendering of one record."""
+    lines = [f"# run {record.get('run_id', '?')}", ""]
+    for key in (
+        "kind",
+        "experiment_id",
+        "title",
+        "created",
+        "sha",
+        "dirty",
+        "config_hash",
+        "workers",
+        "duration_s",
+        "source",
+    ):
+        value = record.get(key)
+        if value not in (None, ""):
+            lines.append(f"- **{key}**: {value}")
+    plans = record.get("plans") or {}
+    if plans:
+        lines.append(f"- **plans** ({len(plans)}):")
+        for h in sorted(plans):
+            lines.append(f"  - `{h}` {plans[h]}")
+    profile = record.get("profile") or {}
+    if profile.get("samples"):
+        lines.append(
+            f"- **profile**: {profile['samples']} samples, peak RSS "
+            f"{profile.get('peak_rss_kb', '?')} KiB, CPU "
+            f"{profile.get('cpu_s', '?')} s"
+        )
+    conv = record.get("convergence") or []
+    if conv:
+        lines.append(f"- **convergence traces**: {len(conv)}")
+        for key, g in sorted(
+            _trace_groups(record).items(), key=lambda kv: tuple(map(str, kv[0]))
+        ):
+            lines.append(
+                f"  - {key[0]}/{key[1]}@{key[2]} nodes: {g['count']:.0f} "
+                f"traces, median {g['iterations']:.0f} iters to "
+                f"{g['final']:.3e} (rtol {g['rtol']:.1e})"
+            )
+    benches = record.get("benches") or []
+    if benches:
+        lines.append(f"- **benches** ({len(benches)}):")
+        for bench in benches:
+            lines.append(
+                f"  - {bench.get('name')}: {bench.get('status')}, "
+                f"{bench.get('wall_s')} s"
+            )
+    trace = record.get("trace") or {}
+    roots = trace.get("roots") or []
+    if roots:
+        lines.append(f"- **trace**: {trace.get('num_spans', 0)} spans; roots:")
+        for r in roots[:8]:
+            lines.append(
+                f"  - {r.get('name')}: {float(r.get('dur_us', 0.0)) / 1e6:.3f} s"
+            )
+    return "\n".join(lines)
+
+
+def delta_markdown(delta: RunDelta) -> str:
+    """The ``obs diff`` / ``obs attribute`` rendering of a comparison.
+
+    The first body line is always ``drift: <verdict>`` -- CI greps it.
+    """
+    lines = [
+        f"# {_describe_run(delta.a)} vs {_describe_run(delta.b)}",
+        "",
+        f"drift: {delta.drift}",
+        "",
+    ]
+    if delta.drift == "none":
+        lines.append(
+            "Same plan-hash set, IR extrema and solver behavior within "
+            "tolerance."
+        )
+    for line in delta.evidence:
+        lines.append(f"- {line}")
+    if delta.plan_diffs:
+        lines.append("")
+        lines.append("## Plan diff (structural evidence)")
+        for text in delta.plan_diffs:
+            lines.append("")
+            lines.append("```")
+            lines.append(text)
+            lines.append("```")
+    if delta.residual_deltas:
+        lines.append("")
+        lines.append("## Residual-curve deltas (numerical evidence)")
+        lines.append(
+            "| group | final A | final B | iters A | iters B | rtol A | rtol B |"
+        )
+        lines.append("|---|---|---|---|---|---|---|")
+        for row in delta.residual_deltas:
+            lines.append(
+                f"| {row['group']} | {row['final_a']:.3e} | {row['final_b']:.3e} "
+                f"| {row['iterations_a']:.0f} | {row['iterations_b']:.0f} "
+                f"| {row['rtol_a']:.1e} | {row['rtol_b']:.1e} |"
+            )
+    if delta.metric_deltas:
+        lines.append("")
+        lines.append("## Metric deltas")
+        lines.append("| metric | A | B |")
+        lines.append("|---|---|---|")
+        for name, va, vb in delta.metric_deltas:
+            lines.append(f"| {name} | {va:.6g} | {vb:.6g} |")
+    return "\n".join(lines)
+
+
+def export_chrome_trace(record: Mapping[str, object]) -> Dict[str, object]:
+    """A stored record as Chrome trace-event JSON.
+
+    Root spans from the record's trace digest become ``ph: X`` duration
+    events; the profiler's bounded RSS/CPU curve becomes ``ph: C``
+    counter tracks on the same timebase -- the offline equivalent of the
+    live :func:`repro.obs.trace.to_chrome_trace` export.
+    """
+    events: List[Dict[str, object]] = []
+    trace = record.get("trace") or {}
+    for r in trace.get("roots") or []:
+        events.append(
+            {
+                "name": r.get("name", "?"),
+                "ph": "X",
+                "ts": float(r.get("ts_us", 0.0)),
+                "dur": float(r.get("dur_us", 0.0)),
+                "pid": 1,
+                "tid": 1,
+                "args": {"count": r.get("count", 1)},
+            }
+        )
+    profile = record.get("profile") or {}
+    for point in profile.get("curve") or []:
+        try:
+            ts, rss, cpu = float(point[0]), float(point[1]), float(point[2])
+        except (TypeError, ValueError, IndexError):
+            continue
+        base = {"ph": "C", "ts": ts, "pid": 1, "tid": 0}
+        events.append(
+            {**base, "name": "profile.rss_kb", "args": {"rss_kb": rss}}
+        )
+        events.append(
+            {**base, "name": "profile.cpu_s", "args": {"cpu_s": cpu}}
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "run_id": record.get("run_id"),
+            "experiment_id": record.get("experiment_id"),
+            "sha": record.get("sha"),
+            "created": record.get("created"),
+        },
+    }

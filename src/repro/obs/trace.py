@@ -29,7 +29,6 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
-from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional
 
 _lock = threading.Lock()
@@ -38,6 +37,13 @@ _dropped = 0
 _t0: Optional[float] = None
 _hooks: List[Callable[["SpanRecord"], None]] = []
 _tls = threading.local()
+#: Live span stacks by thread ident -- lets the resource profiler
+#: (:mod:`repro.obs.profile`) attach samples to the active span tree
+#: without touching thread-local state it does not own.
+_active_stacks: Dict[int, List["SpanRecord"]] = {}
+#: Identity keys of spans absorbed from other processes, so a repeated
+#: absorb of the same worker export is a no-op instead of a duplicate.
+_absorbed_keys: set = set()
 
 #: Buffer cap: long sweeps produce tens of thousands of solve spans; the
 #: cap bounds memory while keeping every realistic run complete.
@@ -80,7 +86,35 @@ def _stack() -> List[SpanRecord]:
     stack = getattr(_tls, "stack", None)
     if stack is None:
         stack = _tls.stack = []
+        with _lock:
+            _active_stacks[threading.get_ident()] = stack
     return stack
+
+
+def now_us() -> float:
+    """Microseconds since this process's trace epoch (span timebase)."""
+    return (time.perf_counter() - _origin()) * 1e6
+
+
+def current_span() -> Optional[SpanRecord]:
+    """The deepest span currently open in any thread, if one exists.
+
+    List append/pop are atomic under the GIL, so reading another
+    thread's stack is safe; a pop racing the read is caught and treated
+    as "no span".  Used by the resource profiler to label each sample
+    with the region it fell inside.
+    """
+    with _lock:
+        stacks = list(_active_stacks.values())
+    best: Optional[SpanRecord] = None
+    for stack in stacks:
+        try:
+            candidate = stack[-1]
+        except IndexError:
+            continue
+        if best is None or candidate.depth > best.depth:
+            best = candidate
+    return best
 
 
 @contextmanager
@@ -137,6 +171,7 @@ def reset_trace() -> None:
     global _dropped, _t0
     with _lock:
         _spans.clear()
+        _absorbed_keys.clear()
         _dropped = 0
         _t0 = None
 
@@ -164,39 +199,85 @@ def export_spans(since: int = 0) -> List[Dict[str, object]]:
     return [asdict(rec) for rec in spans(since)]
 
 
+def _span_key(data: Dict[str, object]) -> tuple:
+    """Identity of an absorbed span: where and when it ran."""
+    return (
+        data.get("pid"),
+        data.get("tid"),
+        data.get("name"),
+        data.get("ts_us"),
+        data.get("dur_us"),
+    )
+
+
 def absorb_spans(records: List[Dict[str, object]]) -> None:
     """Merge spans exported by another process into this buffer.
 
     Worker spans keep their own pid/timebase; Chrome shows them as
     separate lanes.  Used by ``map_design_points`` to stitch parallel
     runs into one trace.
+
+    Two guarantees beyond a blind append: the absorbed batch lands in
+    monotonic start-time order (workers record spans in *completion*
+    order, so a parent's per-task digests would otherwise interleave
+    children before the parents that contain them), and a span already
+    absorbed -- an executor retry, a caller merging the same worker
+    return twice -- is dropped instead of duplicated, so trace-derived
+    aggregates stay exact under re-absorption.
     """
     global _dropped
+    ordered = sorted(
+        records, key=lambda d: (d.get("pid", 0), d.get("ts_us", 0.0))
+    )
     with _lock:
-        for data in records:
+        for data in ordered:
+            key = _span_key(data)
+            if key in _absorbed_keys:
+                continue
             if len(_spans) < MAX_SPANS:
+                _absorbed_keys.add(key)
                 _spans.append(SpanRecord(**data))
             else:
                 _dropped += 1
 
 
 def summary() -> Dict[str, object]:
-    """Compact span-tree digest for manifests: root spans by duration."""
+    """Compact span-tree digest for manifests: root spans by duration.
+
+    When the process-wide root span is still open (a manifest built
+    inside the CLI's ``cli.<command>`` wrapper), no depth-0 span has
+    closed yet -- fall back to the shallowest *closed* spans so the
+    digest still names the run's top-level phases.
+    """
     all_spans = spans()
-    roots = [r for r in all_spans if r.depth == 0]
+    min_depth = min((r.depth for r in all_spans), default=0)
+    roots = [r for r in all_spans if r.depth == min_depth]
     roots.sort(key=lambda r: r.dur_us, reverse=True)
     return {
         "num_spans": len(all_spans),
         "dropped": dropped_count(),
         "roots": [
-            {"name": r.name, "dur_us": round(r.dur_us, 1), "count": r.count}
+            {
+                "name": r.name,
+                "ts_us": round(r.ts_us, 1),
+                "dur_us": round(r.dur_us, 1),
+                "count": r.count,
+            }
             for r in roots[:20]
         ],
     }
 
 
 def to_chrome_trace() -> Dict[str, object]:
-    """The buffer as a Chrome trace-event JSON object (``ph: X`` events)."""
+    """The buffer as a Chrome trace-event JSON object.
+
+    Spans become ``ph: X`` duration events; when the resource profiler
+    (:mod:`repro.obs.profile`) has samples, they are interleaved as
+    ``ph: C`` counter tracks (RSS, CPU time, GC collections) on the
+    same per-process timebase -- Perfetto renders them as counter lanes
+    above each process's span lanes, so a memory ramp lines up with the
+    span that caused it.
+    """
     events = []
     for rec in spans():
         args: Dict[str, object] = dict(rec.attrs)
@@ -215,11 +296,19 @@ def to_chrome_trace() -> Dict[str, object]:
                 "args": args,
             }
         )
+    # Imported lazily: profile builds on trace, not the reverse.
+    from repro.obs.profile import counter_events
+
+    events.extend(counter_events())
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
 def write_chrome_trace(path) -> None:
-    """Serialize the buffer to ``path`` as Chrome-loadable trace JSON."""
-    Path(path).write_text(
-        json.dumps(to_chrome_trace(), default=str) + "\n"
-    )
+    """Serialize the buffer to ``path`` as Chrome-loadable trace JSON.
+
+    The write is atomic (temp sibling + ``os.replace``): a crashed or
+    concurrent run can never leave a truncated trace artifact.
+    """
+    from repro.obs.atomic import atomic_write_text
+
+    atomic_write_text(path, json.dumps(to_chrome_trace(), default=str) + "\n")

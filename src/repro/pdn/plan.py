@@ -508,6 +508,12 @@ def validate_plan_dict(data: Mapping[str, Any]) -> None:
 #: entry points.  Manifests resolve touched-plan counters against it.
 _observed: Dict[str, str] = {}
 
+#: Full plan objects by hash, kept alongside the name map so the
+#: run-history store (:mod:`repro.obs.store`) can persist plan *bodies*
+#: content-addressed and later render a real :class:`PlanDiff` between
+#: two historical runs instead of only comparing hashes.
+_observed_objects: Dict[str, "StackPlan"] = {}
+
 #: Metrics-counter prefix for per-run plan attribution.  Counters merge
 #: across worker processes, so per-experiment deltas stay complete even
 #: for fanned-out sweeps (labels of worker-only plans degrade to the
@@ -518,6 +524,7 @@ PLAN_TOUCH_PREFIX = "plan.touch."
 def record_plan_use(plan: StackPlan) -> None:
     """Note that a build used ``plan`` (registry + touch counter)."""
     _observed[plan.plan_hash] = plan.benchmark
+    _observed_objects[plan.plan_hash] = plan
     # Local import: obs must stay importable without the pdn package.
     from repro.obs import metrics as _metrics
 
@@ -527,6 +534,11 @@ def record_plan_use(plan: StackPlan) -> None:
 def observed_plans() -> Dict[str, str]:
     """Every plan hash this process has built, mapped to its benchmark."""
     return dict(_observed)
+
+
+def observed_plan_objects() -> Dict[str, "StackPlan"]:
+    """Every plan this process has built, by hash (full objects)."""
+    return dict(_observed_objects)
 
 
 def plans_from_counters(counters: Mapping[str, Any]) -> Dict[str, str]:

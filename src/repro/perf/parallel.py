@@ -33,9 +33,11 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.obs import metrics as _metrics
+from repro.obs import profile as _profile
 from repro.obs import trace as _trace
 from repro.perf import timers as _timers
 from repro.perf.timers import timed
+from repro.rmesh import backends as _backends
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -74,6 +76,8 @@ class _WorkerReturn:
     timers: Dict[str, Tuple[float, int]] = field(default_factory=dict)
     metrics: Dict[str, Dict[str, object]] = field(default_factory=dict)
     spans: List[Dict[str, object]] = field(default_factory=list)
+    profile: List[Dict[str, object]] = field(default_factory=list)
+    convergence: List[Dict[str, object]] = field(default_factory=list)
 
 
 class _ObsTask:
@@ -82,21 +86,31 @@ class _ObsTask:
     Snapshot-diffing (rather than reset-and-snapshot) keeps the scheme
     correct under both fork (workers inherit parent registry state) and
     spawn (fresh registries), and under executor reuse across items.
+    Beyond timers/metrics/spans, each return also carries the worker's
+    new resource-profiler samples (the sampler is started lazily in the
+    worker when ``REPRO_PROFILE`` asks for it -- spawn children don't
+    inherit the parent's thread) and any solver convergence traces the
+    task recorded.
     """
 
     def __init__(self, fn: Callable[[T], R]) -> None:
         self.fn = fn
 
     def __call__(self, item: T) -> _WorkerReturn:
+        _profile.ensure_profiler()
         timers_before = _timers.snapshot()
         metrics_before = _metrics.snapshot()
         spans_before = _trace.span_count()
+        samples_before = _profile.sample_count()
+        traces_before = _backends.trace_count()
         result = self.fn(item)
         return _WorkerReturn(
             result=result,
             timers=_timers.diff_snapshots(timers_before, _timers.snapshot()),
             metrics=_metrics.registry.diff(metrics_before, _metrics.snapshot()),
             spans=_trace.export_spans(since=spans_before),
+            profile=_profile.export_samples(since=samples_before),
+            convergence=_backends.export_traces(since=traces_before),
         )
 
 
@@ -107,6 +121,8 @@ def _merge_worker_returns(returns: Sequence[_WorkerReturn]) -> List[Any]:
         _timers.merge_snapshot(wr.timers)
         _metrics.merge(wr.metrics)
         _trace.absorb_spans(wr.spans)
+        _profile.absorb_samples(wr.profile)
+        _backends.absorb_traces(wr.convergence)
         results.append(wr.result)
     _metrics.inc("parallel.worker_tasks_merged", len(returns))
     return results

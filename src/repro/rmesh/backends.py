@@ -54,7 +54,9 @@ setup times are threaded into the obs metrics registry under
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional
+import threading
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
 
 import numpy as np
 import scipy.sparse as sp
@@ -63,6 +65,7 @@ import scipy.sparse.linalg as spla
 from repro.errors import ConfigurationError, SolverError
 from repro.obs import metrics as _metrics
 from repro.obs.log import get_logger
+from repro.obs.profile import BoundedSeries
 
 _log = get_logger("rmesh.backends")
 
@@ -84,7 +87,121 @@ DEFAULT_BACKEND = "direct"
 DEFAULT_CG_RTOL = 1e-10
 DEFAULT_CG_PRECOND = "factor"
 
+#: Environment switch for per-iteration convergence tracing ("0" disables).
+CONVERGENCE_TRACE_ENV = "REPRO_CONVERGENCE_TRACE"
+
+#: Trace every Nth solve per operator (the first is always traced).
+TRACE_EVERY_ENV = "REPRO_TRACE_EVERY"
+DEFAULT_TRACE_EVERY = 8
+
+#: Max stored residual points per trace (stride-doubling decimation).
+TRACE_POINT_CAP = 64
+
+#: Within a traced solve, residuals are computed at power-of-two
+#: iterations plus every RECORD_EVERY-th (each costs one matvec); the
+#: exact final point is pinned after the solve returns.
+RECORD_EVERY = 64
+
+#: Process-global convergence-trace buffer cap.
+MAX_TRACES = 512
+
 _amg_warned = False
+
+
+# ---------------------------------------------------------------------------
+# Convergence traces (per-iteration residual histories)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ResidualTrace:
+    """One iterative solve's residual history, bounded and serializable.
+
+    ``points`` is a ``[iteration, relative residual]`` curve including
+    the initial residual at iteration 0, downsampled to at most
+    :data:`TRACE_POINT_CAP` points with endpoints preserved
+    (:class:`repro.obs.profile.BoundedSeries`); ``stride`` reports the
+    decimation level so readers know the interior sampling density.  A
+    stalled preconditioner shows up as a flat curve here instead of
+    having to be inferred from an iteration count.
+    """
+
+    backend: str
+    preconditioner: str
+    nodes: int
+    rtol: float
+    warm_start: bool
+    iterations: int
+    converged: bool
+    final_residual: float
+    points: List[List[float]] = field(default_factory=list)
+    stride: int = 1
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ResidualTrace":
+        return cls(**data)
+
+
+_trace_lock = threading.Lock()
+_traces: List[ResidualTrace] = []
+_traces_dropped = 0
+
+
+def trace_enabled() -> bool:
+    """Whether iterative solves record residual histories (default on)."""
+    return os.environ.get(CONVERGENCE_TRACE_ENV, "1") not in ("", "0")
+
+
+def trace_every() -> int:
+    """Sampling period: one traced solve per this many (min 1)."""
+    raw = os.environ.get(TRACE_EVERY_ENV, "")
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return DEFAULT_TRACE_EVERY
+
+
+def record_trace(trace: ResidualTrace) -> None:
+    """Append a trace to the bounded process-global buffer."""
+    global _traces_dropped
+    with _trace_lock:
+        if len(_traces) < MAX_TRACES:
+            _traces.append(trace)
+        else:
+            _traces_dropped += 1
+
+
+def trace_count() -> int:
+    with _trace_lock:
+        return len(_traces)
+
+
+def traces(since: int = 0) -> List[ResidualTrace]:
+    """Copy of the trace buffer (optionally from an index)."""
+    with _trace_lock:
+        return list(_traces[since:])
+
+
+def export_traces(since: int = 0) -> List[Dict[str, object]]:
+    """Traces as plain dicts -- picklable across process boundaries."""
+    return [t.to_dict() for t in traces(since)]
+
+
+def absorb_traces(records: List[Dict[str, object]]) -> None:
+    """Merge traces exported by a worker process into this buffer."""
+    for data in records:
+        record_trace(ResidualTrace.from_dict(dict(data)))
+
+
+def reset_traces() -> None:
+    """Drop all buffered convergence traces."""
+    global _traces_dropped
+    with _trace_lock:
+        _traces.clear()
+        _traces_dropped = 0
 
 
 def resolve_backend(choice: Optional[str] = None) -> str:
@@ -224,6 +341,11 @@ class SolverOperator:
         self.total_iterations = 0
         self.preconditioner: Optional[Preconditioner] = None
         self.reused_preconditioner = False
+        #: Residual history of the last solve when it was traced; None for
+        #: the direct path and for untraced (sampled-out) solves, so a
+        #: consumer never mistakes a stale curve for the current solve's.
+        self.last_trace: Optional[ResidualTrace] = None
+        self._solve_index = 0
 
     def solve(
         self, rhs: np.ndarray, x0: Optional[np.ndarray] = None
@@ -309,9 +431,40 @@ class CGOperator(SolverOperator):
         self, rhs: np.ndarray, x0: Optional[np.ndarray] = None
     ) -> np.ndarray:
         count = [0]
+        # Residual tracing costs an extra matvec per *recorded* point
+        # (the CG callback only sees the iterate, not the recurrence
+        # residual).  Two levels of sampling keep it invisible in wall
+        # time: solves are sampled (first per operator, then every
+        # trace_every()-th), and within a traced solve residuals are
+        # only computed on a log-dense iteration schedule -- powers of
+        # two plus every RECORD_EVERY-th -- a handful of matvecs even
+        # for thousand-iteration solves, matching the roughly
+        # exponential decay the curve describes.  The callback never
+        # feeds back into CG, so traced and untraced solves are bitwise
+        # identical.
+        traced = trace_enabled() and self._solve_index % trace_every() == 0
+        self._solve_index += 1
+        series: Optional[BoundedSeries] = None
+        rhs_norm = 0.0
+        if traced:
+            rhs_norm = float(np.linalg.norm(rhs))
+            series = BoundedSeries(cap=TRACE_POINT_CAP)
+            if x0 is None:
+                # Cold start: the initial residual is b itself, so the
+                # relative residual is exactly 1 -- no matvec needed.
+                series.append(0.0, 1.0 if rhs_norm > 0.0 else 0.0)
+            else:
+                r0 = float(np.linalg.norm(rhs - self._matrix @ x0))
+                series.append(0.0, r0 / rhs_norm if rhs_norm > 0.0 else r0)
 
-        def _tick(_xk: np.ndarray) -> None:
-            count[0] += 1
+        def _rel_residual(xk: np.ndarray) -> float:
+            r = float(np.linalg.norm(rhs - self._matrix @ xk))
+            return r / rhs_norm if rhs_norm > 0.0 else r
+
+        def _tick(xk: np.ndarray) -> None:
+            n = count[0] = count[0] + 1
+            if series is not None and (n & (n - 1) == 0 or n % RECORD_EVERY == 0):
+                series.append(n, _rel_residual(xk))
 
         x, info = spla.cg(
             self._matrix,
@@ -326,6 +479,28 @@ class CGOperator(SolverOperator):
         self.iterations = count[0]
         self.total_iterations += count[0]
         _metrics.inc("solver.cg_iterations", count[0])
+        if series is not None:
+            # Lazy in-solve recording may have skipped the closing
+            # iterations; pin the curve's exact endpoint (one matvec).
+            if count[0] > 0:
+                series.append(count[0], _rel_residual(x))
+            pts = series.points()
+            trace = ResidualTrace(
+                backend=self.name,
+                preconditioner=self.preconditioner.kind,
+                nodes=int(self._matrix.shape[0]),
+                rtol=self.rtol,
+                warm_start=x0 is not None,
+                iterations=count[0],
+                converged=info == 0,
+                final_residual=pts[-1][1] if pts else 0.0,
+                points=[[p[0], p[1]] for p in pts],
+                stride=series.stride,
+            )
+            record_trace(trace)
+            self.last_trace = trace
+        else:
+            self.last_trace = None
         if info > 0:
             raise SolverError(
                 f"cg failed to converge within {self.maxiter} iterations",

@@ -41,7 +41,12 @@ from repro.geometry import Point
 from repro.obs import metrics as _metrics
 from repro.obs.trace import span
 from repro.power.powermap import PowerMap
-from repro.rmesh.backends import SolverOperator, make_operator, resolve_backend
+from repro.rmesh.backends import (
+    ResidualTrace,
+    SolverOperator,
+    make_operator,
+    resolve_backend,
+)
 from repro.rmesh.stack import StackModel
 from repro.units import to_mv
 
@@ -73,6 +78,11 @@ class IRDropResult:
     solve_time: float  # seconds spent in back-substitution
     backend: str = "direct"
     iterations: int = field(default=0, compare=False)
+    #: Residual history of this solve when the iterative backend traced
+    #: it (sampled; see ``REPRO_TRACE_EVERY``); None for direct solves
+    #: and untraced iterations.  Carries backend/preconditioner/rtol
+    #: provenance plus a bounded ``[iteration, relative residual]`` curve.
+    convergence: Optional["ResidualTrace"] = field(default=None, compare=False)
 
     def max_drop(self) -> float:
         """Worst IR drop anywhere in the stack, volts."""
@@ -243,6 +253,7 @@ class StackSolver:
             solve_time=sp.duration,
             backend=self._op.name,
             iterations=self._op.iterations,
+            convergence=self._op.last_trace,
         )
 
     def solve_block(
@@ -307,6 +318,11 @@ class StackSolver:
         if block.shape[1] == 0:
             return []
         per_rhs = self._last_block_time / block.shape[1]
+        # Traced columns' residual histories land in the global buffer
+        # (backends.traces()); per-result provenance carries the batch's
+        # last trace on the last result only -- attributing one column's
+        # curve to all k results would be misleading.
+        last = block.shape[1] - 1
         return [
             IRDropResult(
                 model=self.model,
@@ -314,6 +330,7 @@ class StackSolver:
                 solve_time=per_rhs,
                 backend=self._op.name,
                 iterations=self._op.iterations,
+                convergence=self._op.last_trace if i == last else None,
             )
             for i in range(block.shape[1])
         ]
