@@ -1,0 +1,188 @@
+"""Diagnostics overhead gate: explain must cost < 10% of the solve.
+
+``repro3d explain`` recovers every branch current, checks KCL, walks the
+worst-node supply path and attributes dissipation to plan ops -- all
+*after* the solve, purely by reading the solution.  This bench pins two
+promises the diagnostics layer makes:
+
+* **cheap**: one full diagnosis (:func:`repro.pdn.diagnose.
+  diagnose_result`) costs < ``MAX_DIAG_PCT`` (10%) of the design-point
+  solve it explains -- power-map evaluation, load-current stamping,
+  factorization and back-substitution on the fig5 design (off-chip DDR3
+  at its baseline TSV count), measured on a fresh stack exactly as the
+  explain CLI pays for it;
+* **read-only**: the drop field is bitwise identical whether or not
+  diagnostics ran -- drops recorded before a diagnosis, re-solved after
+  it, and solved in a diagnostics-free leg must all be equal arrays.
+
+Each repeat builds a *fresh* stack so the solve leg includes the cold
+factorization the CLI performs, and the diagnose leg times ``INNER_RUNS``
+individual diagnoses of the solved result (model-level array caches are
+warm by then, matching the CLI path where matrix assembly already
+populated them).  Reported walls are min-of-k per leg, the standard way
+to strip scheduler noise on a shared CI box.
+
+Results land in ``benchmarks/results/explain_overhead.json``.  Run
+directly (``python benchmarks/bench_explain_overhead.py``) or via the
+unified runner (``repro3d bench --names explain_overhead``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench import register_bench
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+MAX_DIAG_PCT = 10.0
+INNER_RUNS = 4
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+
+def _repeats() -> int:
+    return 5 if _smoke() else 8
+
+
+def run_benchmark() -> dict:
+    from repro.designs import benchmark
+    from repro.pdn import build_stack
+    from repro.pdn.diagnose import diagnose_result
+
+    bench = benchmark("ddr3_off")
+    state = bench.reference_state()
+
+    solve_walls: list = []
+    diag_walls: list = []
+    reference = None
+    drops_identical = True
+    hops = orphans = 0
+    closure_rel = 0.0
+
+    for _ in range(_repeats()):
+        # Fresh stack: the solve leg pays the cold factorization, exactly
+        # like one `repro3d explain` invocation does.
+        stack = build_stack(bench.stack, bench.baseline)
+        t0 = time.perf_counter()
+        # stack.solver factorizes on first access -- inside the window on
+        # purpose: the solve wall is everything explain pays before
+        # diagnostics (power maps, load currents, factorize, solve).
+        solver = stack.solver
+        currents = solver.currents_from_maps(stack.power_maps(state))
+        raw = solver.solve_currents(currents)
+        solve_walls.append(time.perf_counter() - t0)
+
+        before = np.array(raw.drops, copy=True)
+        if reference is None:
+            reference = before
+        elif not np.array_equal(before, reference):
+            drops_identical = False
+
+        for _ in range(INNER_RUNS):
+            t0 = time.perf_counter()
+            diag = diagnose_result(
+                raw,
+                currents,
+                plan=stack.plan,
+                op_spans=stack.assembled.op_spans,
+            )
+            diag_walls.append(time.perf_counter() - t0)
+        hops = len(diag.path)
+        orphans = diag.coverage["orphans"]
+        closure_rel = diag.closure_rel
+
+        # Read-only promise: the solution the diagnosis read is untouched,
+        # and re-solving after diagnostics reproduces it bit for bit.
+        if not np.array_equal(np.asarray(raw.drops), reference):
+            drops_identical = False
+        after = solver.solve_currents(currents)
+        if not np.array_equal(np.asarray(after.drops), reference):
+            drops_identical = False
+
+    solve = min(solve_walls)
+    diagnose = min(diag_walls)
+    diag_pct = diagnose / solve * 100.0
+
+    result = {
+        "benchmark": "explain diagnostics overhead on fig5 (ddr3_off)",
+        "smoke": _smoke(),
+        "repeats": _repeats(),
+        "inner_runs": INNER_RUNS,
+        "solve_wall_s": round(solve, 6),
+        "diagnose_wall_s": round(diagnose, 6),
+        "solve_wall_s_all": [round(w, 6) for w in solve_walls],
+        "diagnose_wall_s_all": [round(w, 6) for w in diag_walls],
+        "diag_pct": round(diag_pct, 3),
+        "max_diag_pct": MAX_DIAG_PCT,
+        "drops_identical": drops_identical,
+        "path_hops": hops,
+        "orphan_branches": orphans,
+        "closure_rel": closure_rel,
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "explain_overhead.json").write_text(
+        json.dumps(result, indent=2) + "\n"
+    )
+    return result
+
+
+@register_bench("explain_overhead")
+def test_explain_overhead_under_gate():
+    """Diagnostics < 10% of the solve wall, physics bitwise-untouched."""
+    result = run_benchmark()
+    print("\n" + json.dumps(result, indent=2))
+    assert result["drops_identical"], (
+        "running diagnostics perturbed the recorded drop field"
+    )
+    assert result["orphan_branches"] == 0, result
+    assert result["diag_pct"] < MAX_DIAG_PCT, (
+        f"diagnostics cost {result['diag_pct']}% of the solve wall, over "
+        f"the {MAX_DIAG_PCT}% gate "
+        f"(solve {result['solve_wall_s']}s, "
+        f"diagnose {result['diagnose_wall_s']}s)"
+    )
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="explain diagnostics overhead benchmark (see module docstring)"
+    )
+    parser.add_argument(
+        "--manifest-out", metavar="PATH", default=None,
+        help="write a run provenance manifest",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs import metrics as _metrics
+    from repro.obs.manifest import build_manifest
+    from repro.obs.trace import span
+
+    before = _metrics.snapshot()
+    with span("bench.explain_overhead", smoke=_smoke()) as sp:
+        result = run_benchmark()
+    print(json.dumps(result, indent=2))
+    assert result["drops_identical"]
+    assert result["diag_pct"] < MAX_DIAG_PCT
+    if args.manifest_out:
+        build_manifest(
+            experiment_id="bench.explain_overhead",
+            title="explain diagnostics overhead gate",
+            config={"smoke": _smoke(), "repeats": result["repeats"]},
+            duration_s=sp.duration,
+            metrics_snapshot=_metrics.diff(before, _metrics.snapshot()),
+        ).write(args.manifest_out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

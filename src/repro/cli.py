@@ -7,6 +7,8 @@ Examples::
     repro3d run table9 --full     # full (slow) variant
     repro3d all                   # every experiment, fast variants
     repro3d solve ddr3_off 0-0-0-2 --f2f   # ad-hoc IR solve
+    repro3d explain ddr3_off      # attribute the worst drop to its path
+    repro3d explain --diff last~1 last     # attribution drift, stored runs
     repro3d bench --smoke         # telemetry suite + regression check
     repro3d bench --update-baseline        # bless intentional changes
 
@@ -174,6 +176,85 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     )
     for kind, count in sorted(summary["ops"].items()):
         _log.info("    %-18s %d", kind, count)
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Diagnose a solved design: recovered branch currents, KCL check,
+    worst-node supply-path decomposition, per-plan-op attribution.
+
+    ``--diff A B`` instead compares the worst-drop attribution of two
+    stored runs (the physics axis of ``repro3d obs diff``).
+    """
+    import numpy as np
+
+    from repro.obs.atomic import atomic_write_text
+
+    if args.diff:
+        from repro.obs.store import attribution_markdown, diff_runs
+
+        store = _obs_store(args)
+        delta = diff_runs(
+            store.resolve(args.diff[0]), store.resolve(args.diff[1]), store
+        )
+        text = attribution_markdown(delta)
+        _log.info("%s", text)
+        if args.out:
+            atomic_write_text(args.out, text + "\n")
+        return 0
+
+    if not args.benchmark:
+        _log.error("explain needs a benchmark (or --diff RUN RUN)")
+        return 2
+
+    from repro.experiments.common import explain_design
+    from repro.pdn.diagnose import validate_explain_dict
+
+    bench = benchmark(args.benchmark)
+    config = bench.baseline
+    if args.f2f:
+        config = config.with_options(bonding=Bonding.F2F)
+    if args.wirebond:
+        config = config.with_options(wire_bond=True)
+    if args.tsv_count is not None:
+        config = config.with_options(tsv_count=args.tsv_count)
+    state = (
+        MemoryState.from_string(args.state, bench.stack.dram_floorplan)
+        if args.state
+        else bench.reference_state()
+    )
+    diag = explain_design(bench, config, state)
+    data = diag.to_dict()
+    validate_explain_dict(data)
+
+    if args.format == "json":
+        text = diag.to_json().rstrip("\n")
+    else:
+        text = diag.markdown()
+    _log.info("%s", text)
+    if args.out:
+        artifact = diag.to_json() if args.out.endswith(".json") else text + "\n"
+        atomic_write_text(args.out, artifact)
+        _log.info("explain artifact written: %s", args.out)
+    if args.heatmaps and diag.raw is not None:
+        _log.info(
+            "\n%s", diag.raw.ascii_heatmap_stack()
+        )
+    if args.heatmap_out and diag.raw is not None:
+        from repro.rmesh.branches import extract_branches
+
+        branches = extract_branches(diag.raw.model, np.asarray(diag.raw.drops))
+        fields = {}
+        for key in diag.raw.model.layer_keys:
+            tag = key.replace("/", "__")
+            fields[f"drop_mv__{tag}"] = diag.raw.layer_drops(key) * 1e3
+            fields[f"dissipation_w__{tag}"] = branches.layer_dissipation_map(key)
+        np.savez_compressed(args.heatmap_out, **fields)
+        _log.info(
+            "heatmaps written: %s (%d layers x drop/dissipation)",
+            args.heatmap_out,
+            len(diag.raw.model.layer_keys),
+        )
     return 0
 
 
@@ -478,6 +559,75 @@ def build_parser() -> argparse.ArgumentParser:
     solve_p.add_argument("--f2f", action="store_true", help="F2F bonding")
     solve_p.add_argument("--wirebond", action="store_true", help="add bond wires")
     solve_p.set_defaults(func=_cmd_solve)
+
+    explain_p = sub.add_parser(
+        "explain",
+        help="diagnose a solved design: branch currents, worst-path "
+        "decomposition, per-plan-op attribution",
+        parents=[common],
+    )
+    explain_p.add_argument(
+        "benchmark",
+        nargs="?",
+        choices=sorted(all_benchmarks()),
+        help="benchmark to explain (omit only with --diff)",
+    )
+    explain_p.add_argument(
+        "state",
+        nargs="?",
+        help='memory state, e.g. "0-0-0-2" (default: the benchmark\'s '
+        "reference state)",
+    )
+    explain_p.add_argument("--f2f", action="store_true", help="F2F bonding")
+    explain_p.add_argument(
+        "--wirebond", action="store_true", help="add bond wires"
+    )
+    explain_p.add_argument(
+        "--tsv-count",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the baseline TSV count",
+    )
+    explain_p.add_argument(
+        "--format",
+        choices=("text", "markdown", "json"),
+        default="text",
+        help="report format on stdout (text and markdown render the same "
+        "report; json prints the artifact)",
+    )
+    explain_p.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write the report to PATH (a .json suffix writes the JSON "
+        "artifact regardless of --format)",
+    )
+    explain_p.add_argument(
+        "--heatmaps",
+        action="store_true",
+        help="also print per-layer ascii drop heatmaps on one shared scale",
+    )
+    explain_p.add_argument(
+        "--heatmap-out",
+        metavar="PATH",
+        help="export per-layer drop (mV) and dissipation (W) grids as a "
+        "compressed .npz",
+    )
+    explain_p.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("RUN_A", "RUN_B"),
+        help="render the attribution drift between two stored runs "
+        "(references as in `repro3d obs`: last, last~N, id prefix)",
+    )
+    explain_p.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="history store directory for --diff (default: "
+        "benchmarks/results/history, or $REPRO_HISTORY_DIR)",
+    )
+    explain_p.set_defaults(func=_cmd_explain)
 
     plan_p = sub.add_parser(
         "plan",

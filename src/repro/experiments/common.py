@@ -33,6 +33,27 @@ def solve_design(
     return stack.solve_state(state)
 
 
+def explain_design(
+    bench: BenchmarkSpec,
+    config: PDNConfig,
+    state: MemoryState,
+    pitch: Optional[float] = None,
+):
+    """Build, solve, and diagnose one design point (``repro3d explain``).
+
+    Returns a :class:`repro.pdn.diagnose.DesignDiagnosis`: branch
+    currents recovered and KCL-checked, the worst-node supply path
+    decomposed by component, and every branch attributed to its plan op.
+    The stack comes from the same keyed cache as :func:`solve_design`,
+    so explaining a design an experiment just solved reuses its
+    factorization.
+    """
+    from repro.pdn.diagnose import diagnose_stack
+
+    stack = cached_build_stack(bench.stack, config, tech=DEFAULT_TECH, pitch=pitch)
+    return diagnose_stack(stack, state)
+
+
 def ddr3_state(text: str) -> MemoryState:
     """Parse a stacked-DDR3 memory state string."""
     return MemoryState.from_string(

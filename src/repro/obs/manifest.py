@@ -61,6 +61,10 @@ OPTIONAL_MANIFEST_FIELDS: Dict[str, tuple] = {
     # Solver convergence traces recorded during the run
     # (:class:`repro.rmesh.backends.ResidualTrace` dicts).
     "convergence": (list,),
+    # Physics attribution summaries by benchmark
+    # (:func:`repro.pdn.diagnose.attribution_snapshot`): worst-drop
+    # supply-path decomposition per design the run explained.
+    "attribution": (dict,),
 }
 
 
@@ -88,6 +92,9 @@ class RunManifest:
     profile: Dict[str, object] = field(default_factory=dict)
     #: Solver convergence traces recorded during the run.
     convergence: list = field(default_factory=list)
+    #: Worst-drop attribution summaries by benchmark (empty when the
+    #: run never diagnosed a design).
+    attribution: Dict[str, object] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
     def to_dict(self) -> Dict[str, object]:
@@ -216,6 +223,19 @@ def _plans_of(metrics: Mapping[str, object]) -> Dict[str, object]:
     return dict(plans_from_counters(counters))
 
 
+def _attributions_of() -> Dict[str, object]:
+    """Physics attribution summaries recorded by this process, if any.
+
+    Lazy for the same reason as :func:`_plans_of`: the diagnose module
+    lives in ``repro.pdn``, which ``repro.obs`` must not require.
+    """
+    try:
+        from repro.pdn.diagnose import attribution_snapshot
+    except ImportError:  # pragma: no cover - pdn always present in-tree
+        return {}
+    return dict(attribution_snapshot())
+
+
 def build_manifest(
     experiment_id: str,
     title: str = "",
@@ -272,6 +292,7 @@ def build_manifest(
         },
         metrics=metrics,
         plans=_plans_of(metrics),
+        attribution=_attributions_of(),
         profile=_profile.summary() if _profile.sample_count() else {},
         convergence=list(convergence),
         timers={

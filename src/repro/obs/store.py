@@ -127,6 +127,7 @@ def normalize_manifest(
         "trace": dict(data.get("trace") or {}),
         "profile": dict(data.get("profile") or {}),
         "convergence": list(data.get("convergence") or []),
+        "attribution": dict(data.get("attribution") or {}),
         "benches": [],
         "source": str(source) if source is not None else None,
     }
@@ -371,6 +372,11 @@ class RunDelta:
     metric_deltas: List[tuple] = field(default_factory=list)
     #: Per trace-group residual comparisons (numerical drift evidence).
     residual_deltas: List[Dict[str, object]] = field(default_factory=list)
+    #: One-line physics-axis status (``attribution: ...``); always set.
+    attribution_note: str = ""
+    #: Per-benchmark component rows that moved (physics-axis evidence):
+    #: ``{benchmark, component, a_mv, b_mv}``.
+    attribution_deltas: List[Dict[str, object]] = field(default_factory=list)
 
 
 def _ir_extremum(record: Mapping[str, object]) -> Optional[float]:
@@ -546,6 +552,88 @@ def _numerical_evidence(
     return found
 
 
+def _attribution_evidence(
+    a: Mapping[str, object], b: Mapping[str, object], delta: RunDelta
+) -> bool:
+    """Fill the physics axis: compare worst-drop attribution summaries.
+
+    Records ingested before attribution existed lack the key entirely --
+    those degrade to an explicit ``attribution: n/a`` note instead of a
+    comparison (never a crash).  Returns True when the decomposition
+    moved between two comparable records.
+    """
+    missing = [
+        str(r.get("run_id", "?"))
+        for r in (a, b)
+        if "attribution" not in r
+    ]
+    if missing:
+        delta.attribution_note = (
+            "attribution: n/a (run"
+            + ("s" if len(missing) > 1 else "")
+            + " "
+            + ", ".join(f"`{rid}`" for rid in missing)
+            + " predate"
+            + ("" if len(missing) > 1 else "s")
+            + " attribution records)"
+        )
+        return False
+    attr_a = a.get("attribution") or {}
+    attr_b = b.get("attribution") or {}
+    if not isinstance(attr_a, Mapping) or not isinstance(attr_b, Mapping):
+        delta.attribution_note = "attribution: n/a (malformed records)"
+        return False
+    if not attr_a or not attr_b:
+        delta.attribution_note = (
+            "attribution: none recorded (run the diagnostics via "
+            "`repro3d explain --history`)"
+        )
+        return False
+    shared = sorted(set(attr_a) & set(attr_b))
+    if not shared:
+        delta.attribution_note = (
+            "attribution: no common benchmarks between the runs"
+        )
+        return False
+    found = False
+    for name in shared:
+        sa, sb = attr_a[name], attr_b[name]
+        if not isinstance(sa, Mapping) or not isinstance(sb, Mapping):
+            continue
+        comp_a = dict(sa.get("components_mv") or {})
+        comp_b = dict(sb.get("components_mv") or {})
+        for cat in sorted(set(comp_a) | set(comp_b)):
+            va = float(comp_a.get(cat, 0.0) or 0.0)
+            vb = float(comp_b.get(cat, 0.0) or 0.0)
+            if abs(va - vb) > IR_DRIFT_MV:
+                found = True
+                delta.attribution_deltas.append(
+                    {"benchmark": name, "component": cat, "a_mv": va, "b_mv": vb}
+                )
+        if sa.get("worst_layer") != sb.get("worst_layer"):
+            found = True
+            delta.evidence.append(
+                f"worst-drop layer of {name} moved: "
+                f"{sa.get('worst_layer')} -> {sb.get('worst_layer')}"
+            )
+    if found:
+        moved = len(delta.attribution_deltas)
+        delta.attribution_note = (
+            f"attribution: drifted ({moved} component"
+            f"{'s' if moved != 1 else ''} moved)"
+        )
+        delta.evidence.append(
+            f"worst-drop decomposition moved across {moved} component"
+            f"{'s' if moved != 1 else ''}"
+        )
+    else:
+        delta.attribution_note = (
+            f"attribution: unchanged across {len(shared)} benchmark"
+            f"{'s' if len(shared) != 1 else ''}"
+        )
+    return found
+
+
 def diff_runs(
     a: Mapping[str, object],
     b: Mapping[str, object],
@@ -553,12 +641,13 @@ def diff_runs(
 ) -> RunDelta:
     """Compare two stored records and attribute any drift."""
     delta = RunDelta(a=dict(a), b=dict(b))
+    attribution_drift = _attribution_evidence(a, b, delta)
     plans_a, plans_b = set(a.get("plans") or {}), set(b.get("plans") or {})
     if plans_a != plans_b and (plans_a or plans_b):
         delta.drift = "structural"
         _structural_evidence(a, b, store, delta)
         return delta
-    if _numerical_evidence(a, b, delta):
+    if _numerical_evidence(a, b, delta) or attribution_drift:
         delta.drift = "numerical"
     return delta
 
@@ -709,6 +798,54 @@ def delta_markdown(delta: RunDelta) -> str:
         lines.append("|---|---|---|")
         for name, va, vb in delta.metric_deltas:
             lines.append(f"| {name} | {va:.6g} | {vb:.6g} |")
+    lines.append("")
+    lines.append("## Attribution (physics axis)")
+    lines.append("")
+    lines.append(delta.attribution_note or "attribution: n/a")
+    if delta.attribution_deltas:
+        lines.append("")
+        lines.append(attribution_table(delta.attribution_deltas))
+    return "\n".join(lines)
+
+
+def attribution_table(rows: Sequence[Mapping[str, object]]) -> str:
+    """Markdown table of moved worst-drop components (physics evidence)."""
+    lines = [
+        "| benchmark | component | A mV | B mV | delta mV |",
+        "|---|---|---|---|---|",
+    ]
+    for row in rows:
+        va = float(row.get("a_mv", 0.0) or 0.0)
+        vb = float(row.get("b_mv", 0.0) or 0.0)
+        lines.append(
+            f"| {row.get('benchmark')} | {row.get('component')} "
+            f"| {va:.6f} | {vb:.6f} | {vb - va:+.6f} |"
+        )
+    return "\n".join(lines)
+
+
+def attribution_markdown(delta: RunDelta) -> str:
+    """The ``repro3d explain --diff`` rendering: physics axis only.
+
+    Same comparison machinery as :func:`delta_markdown`, scoped to the
+    worst-drop attribution -- where the drop comes from and how that
+    changed between two stored runs.
+    """
+    lines = [
+        f"# attribution drift: {_describe_run(delta.a)} vs "
+        f"{_describe_run(delta.b)}",
+        "",
+        delta.attribution_note or "attribution: n/a",
+    ]
+    if delta.attribution_deltas:
+        lines.append("")
+        lines.append(attribution_table(delta.attribution_deltas))
+    layer_moves = [
+        line for line in delta.evidence if "worst-drop layer" in line
+    ]
+    if layer_moves:
+        lines.append("")
+        lines.extend(f"- {line}" for line in layer_moves)
     return "\n".join(lines)
 
 

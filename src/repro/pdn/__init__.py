@@ -9,7 +9,19 @@ solvable :class:`repro.rmesh.StackModel` (:mod:`repro.pdn.assemble`),
 and :func:`build_stack` composes the two.
 """
 
-from repro.pdn.assemble import AssembledStack, AssemblySession, assemble
+from repro.pdn.assemble import (
+    AssembledStack,
+    AssemblySession,
+    OpArtifactSpan,
+    assemble,
+)
+from repro.pdn.diagnose import (
+    DesignDiagnosis,
+    attribution_snapshot,
+    diagnose_result,
+    diagnose_stack,
+    validate_explain_dict,
+)
 from repro.pdn.config import (
     Bonding,
     BumpLocation,
@@ -39,7 +51,13 @@ __all__ = [
     "PDNStack",
     "AssembledStack",
     "AssemblySession",
+    "OpArtifactSpan",
+    "DesignDiagnosis",
     "assemble",
+    "attribution_snapshot",
+    "diagnose_result",
+    "diagnose_stack",
+    "validate_explain_dict",
     "build_stack",
     "plan_stack",
     "plan_single_die_stack",

@@ -20,7 +20,8 @@ cold builds.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
@@ -48,6 +49,29 @@ from repro.rmesh.stack import StackModel, SupplyLink, VerticalLink
 _LayerSig = Tuple[int, Hashable, Point]
 
 
+@dataclass(frozen=True)
+class OpArtifactSpan:
+    """What one replayed plan op contributed to the assembled model.
+
+    The op -> artifact bookkeeping behind branch attribution
+    (:mod:`repro.pdn.diagnose`): ``links`` / ``supply`` are half-open
+    index ranges into the model's vertical-link and supply-link lists
+    (insertion order, which :func:`repro.rmesh.branches.extract_branches`
+    preserves), and ``layer_key`` names the mesh an
+    :class:`~repro.pdn.plan.AddLayerOp` registered.  Ranges are recorded
+    identically on cache hits and cold builds -- a reused link block
+    still lands at a deterministic position -- so the mapping covers
+    100% of the model's branches for any session-assembled plan.
+    """
+
+    index: int  # position in plan.ops
+    kind: str  # the op's ``kind`` discriminator
+    role: str  # the op's electrical role (metal/tsv/c4/bump/...)
+    layer_key: Optional[str]  # AddLayerOp: the registered mesh's key
+    links: Tuple[int, int]  # half-open range into model.vertical_links()
+    supply: Tuple[int, int]  # half-open range into model.supply_links()
+
+
 class AssembledStack:
     """One assembled plan: the model plus lazily prepared solvers.
 
@@ -57,9 +81,17 @@ class AssembledStack:
     preconditioner) per backend.
     """
 
-    def __init__(self, plan: StackPlan, model: StackModel) -> None:
+    def __init__(
+        self,
+        plan: StackPlan,
+        model: StackModel,
+        op_spans: Optional[Tuple[OpArtifactSpan, ...]] = None,
+    ) -> None:
         self.plan = plan
         self.model = model
+        #: Per-op artifact ranges, aligned with ``plan.ops`` (see
+        #: :class:`OpArtifactSpan`); empty only for hand-built wrappers.
+        self.op_spans: Tuple[OpArtifactSpan, ...] = op_spans or ()
         self._solvers: Dict[str, StackSolver] = {}
 
     @property
@@ -225,6 +257,14 @@ def _replay_supply(
         session.store_supply(op, sig, model.supply_range(start, model.supply_count))
 
 
+def _op_role(op: PlanOp) -> str:
+    """The electrical role an op's artifacts carry (SupplyOp has none)."""
+    role = getattr(op, "role", None)
+    if isinstance(role, str):
+        return role
+    return "supply" if isinstance(op, SupplyOp) else "op"
+
+
 def assemble(
     plan: StackPlan, session: Optional[AssemblySession] = None
 ) -> AssembledStack:
@@ -232,11 +272,17 @@ def assemble(
 
     With a ``session``, artifacts of ops already assembled under the
     same endpoint placements are reused; the result is bitwise identical
-    either way.
+    either way.  Each op's contribution (mesh key, link range, supply
+    range) is recorded as an :class:`OpArtifactSpan` so branch-level
+    diagnostics can attribute every resistor back to the plan op that
+    created it.
     """
     with timed("stackup.assemble"):
         model = StackModel()
-        for op in plan.ops:
+        spans: List[OpArtifactSpan] = []
+        for index, op in enumerate(plan.ops):
+            link_start, supply_start = model.link_count, model.supply_count
+            layer_key: Optional[str] = None
             if isinstance(op, AddLayerOp):
                 mesh = (
                     session.mesh_for(op)
@@ -245,11 +291,21 @@ def assemble(
                 )
                 if session is None:
                     _metrics.inc("assemble.layers_built")
-                model.add_layer(
+                layer_key = model.add_layer(
                     op.die, mesh, origin=Point(*op.origin), key=op.key
                 )
             elif isinstance(op, SupplyOp):
                 _replay_supply(model, op, session)
             else:
                 _replay_connect(model, op, session)
-        return AssembledStack(plan, model)
+            spans.append(
+                OpArtifactSpan(
+                    index=index,
+                    kind=type(op).kind,
+                    role=_op_role(op),
+                    layer_key=layer_key,
+                    links=(link_start, model.link_count),
+                    supply=(supply_start, model.supply_count),
+                )
+            )
+        return AssembledStack(plan, model, op_spans=tuple(spans))

@@ -19,11 +19,15 @@ from repro.rmesh.backends import (
     make_operator,
     resolve_backend,
 )
+from repro.rmesh.branches import BranchGroup, StackBranches, extract_branches
 from repro.rmesh.mesh import LayerMesh
 from repro.rmesh.stack import StackModel, VerticalLink, SupplyLink
 from repro.rmesh.solve import IRDropResult, StackSolver
 
 __all__ = [
+    "BranchGroup",
+    "StackBranches",
+    "extract_branches",
     "LayerMesh",
     "StackModel",
     "VerticalLink",

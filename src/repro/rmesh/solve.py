@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -107,17 +107,28 @@ class IRDropResult:
         """Worst drop per die in mV (report helper)."""
         return {die: self.die_max_drop_mv(die) for die in self.model.dies()}
 
-    def ascii_heatmap(self, key: str, levels: str = " .:-=+*#%@") -> str:
+    def ascii_heatmap(
+        self,
+        key: str,
+        levels: str = " .:-=+*#%@",
+        vmax: Optional[float] = None,
+    ) -> str:
         """Render one layer's IR-drop field as an ASCII heat map.
 
         Rows print top-down (max y first) so the picture matches a
-        top-view layout plot; intensity is normalized to the layer's own
-        maximum drop.  Handy for eyeballing hotspots in a terminal.
+        top-view layout plot.  By default intensity is normalized to the
+        layer's own maximum drop (the historical single-layer behavior);
+        pass ``vmax`` (volts) to pin the scale externally -- a stack
+        rendering must share one ``vmax`` across its layers or the
+        per-layer auto-scale makes cross-layer comparisons mislead (see
+        :meth:`ascii_heatmap_stack`).
         """
         field = self.layer_drops(key)
         peak = float(field.max())
         lines = [f"{key}: max {peak * 1e3:.2f} mV"]
-        span = peak if peak > 0 else 1.0
+        span = float(vmax) if vmax is not None and vmax > 0 else (
+            peak if peak > 0 else 1.0
+        )
         for row in field[::-1]:
             chars = [
                 levels[min(int(v / span * (len(levels) - 1)), len(levels) - 1)]
@@ -126,8 +137,38 @@ class IRDropResult:
             lines.append("".join(chars))
         return "\n".join(lines)
 
-    def worst_node_location(self) -> "tuple[str, Point]":
-        """(layer key, stack-coordinate point) of the worst-drop node."""
+    def ascii_heatmap_stack(
+        self,
+        keys: Optional[Sequence[str]] = None,
+        levels: str = " .:-=+*#%@",
+    ) -> str:
+        """Render several layers on ONE shared intensity scale.
+
+        The scale is the worst drop across the selected layers (default:
+        every layer of the stack), so a dim M3 next to a saturated M1
+        means M3 really does carry less drop -- which per-layer
+        auto-scaling cannot show.
+        """
+        keys = list(keys) if keys is not None else self.model.layer_keys
+        if not keys:
+            return ""
+        vmax = max(float(self.layer_drops(key).max()) for key in keys)
+        header = f"shared scale: max {vmax * 1e3:.2f} mV across {len(keys)} layers"
+        parts = [header]
+        parts.extend(
+            self.ascii_heatmap(key, levels=levels, vmax=vmax) for key in keys
+        )
+        return "\n\n".join(parts)
+
+    def worst_node_location(
+        self, with_value: bool = False
+    ) -> "tuple[str, Point] | tuple[str, Point, float]":
+        """(layer key, stack-coordinate point) of the worst-drop node.
+
+        With ``with_value=True`` the worst drop itself (volts) is
+        appended: ``(layer key, point, drop)`` -- so callers get the
+        where *and* the how-much in one lookup.
+        """
         node = int(np.argmax(self.drops))
         for key in self.model.layer_keys:
             sl = self.model.layer_slice(key)
@@ -136,7 +177,10 @@ class IRDropResult:
                 i, j = grid.node_index(node - sl.start)
                 local = grid.node_point(i, j)
                 origin = self.model.layer_origin(key)
-                return key, Point(local.x + origin.x, local.y + origin.y)
+                point = Point(local.x + origin.x, local.y + origin.y)
+                if with_value:
+                    return key, point, float(self.drops[node])
+                return key, point
         raise SolverError(f"node {node} not inside any layer")  # pragma: no cover
 
 

@@ -59,6 +59,14 @@ class StackModel:
         self._links: List[VerticalLink] = []
         self._supply: List[SupplyLink] = []
         self._num_nodes = 0
+        # Vectorized views of the (append-only) link lists, keyed by the
+        # list length they were built at; see link_arrays().
+        self._link_arrays_cache: "tuple[int, tuple] | None" = None
+        self._supply_arrays_cache: "tuple[int, tuple] | None" = None
+        # Layer key -> globally-offset (a, b, g) mesh edge arrays.  A
+        # layer's mesh and offset are fixed at add_layer time, so these
+        # never invalidate.  Read-only for callers.
+        self._mesh_edges_cache: Dict[str, tuple] = {}
 
     # -- construction ---------------------------------------------------------
 
@@ -331,6 +339,58 @@ class StackModel:
         """All links to the ideal package supply."""
         return list(self._supply)
 
+    def link_arrays(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Vectorized ``(node_a, node_b, conductance)`` over all vertical
+        links.  The link lists are append-only, so the arrays are cached
+        against the list length and rebuilt only after new links land.
+        Callers must treat the returned arrays as read-only."""
+        n = len(self._links)
+        cached = self._link_arrays_cache
+        if cached is None or cached[0] != n:
+            a = np.fromiter(
+                (lk.node_a for lk in self._links), dtype=np.int64, count=n
+            )
+            b = np.fromiter(
+                (lk.node_b for lk in self._links), dtype=np.int64, count=n
+            )
+            g = np.fromiter(
+                (lk.conductance for lk in self._links), dtype=float, count=n
+            )
+            cached = (n, (a, b, g))
+            self._link_arrays_cache = cached
+        return cached[1]
+
+    def mesh_edge_arrays(self, key: str) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """One layer's mesh edges ``(a, b, g)`` in *global* node ids.
+
+        Cached per layer (mesh topology and node offset are immutable
+        once the layer is added).  Callers must treat the returned
+        arrays as read-only.
+        """
+        cached = self._mesh_edges_cache.get(key)
+        if cached is None:
+            entry = self._entry(key)
+            a, b, g = entry.mesh.edge_arrays()
+            cached = (a + entry.offset, b + entry.offset, g)
+            self._mesh_edges_cache[key] = cached
+        return cached
+
+    def supply_arrays(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Vectorized ``(node, conductance)`` over all supply links,
+        cached like :meth:`link_arrays`.  Read-only."""
+        n = len(self._supply)
+        cached = self._supply_arrays_cache
+        if cached is None or cached[0] != n:
+            node = np.fromiter(
+                (lk.node for lk in self._supply), dtype=np.int64, count=n
+            )
+            g = np.fromiter(
+                (lk.conductance for lk in self._supply), dtype=float, count=n
+            )
+            cached = (n, (node, g))
+            self._supply_arrays_cache = cached
+        return cached[1]
+
     def layer_entry(self, key: str):
         """The internal layer record (mesh + offset + origin) for a key."""
         return self._entry(key)
@@ -356,17 +416,14 @@ class StackModel:
             vals.extend((g, g, -g, -g))
 
         for entry in self._layers:
-            a, b, g = entry.mesh.edge_arrays()
-            stamp(a + entry.offset, b + entry.offset, g)
+            a, b, g = self.mesh_edge_arrays(entry.key)
+            stamp(a, b, g)
         if self._links:
-            a = np.fromiter((lk.node_a for lk in self._links), dtype=np.int64)
-            b = np.fromiter((lk.node_b for lk in self._links), dtype=np.int64)
-            g = np.fromiter((lk.conductance for lk in self._links), dtype=float)
+            a, b, g = self.link_arrays()
             stamp(a, b, g)
         # Supply links only add to the diagonal (the supply node, at drop 0,
         # is eliminated).
-        s = np.fromiter((lk.node for lk in self._supply), dtype=np.int64)
-        gs = np.fromiter((lk.conductance for lk in self._supply), dtype=float)
+        s, gs = self.supply_arrays()
         rows.append(s)
         cols.append(s)
         vals.append(gs)

@@ -58,6 +58,13 @@ def onchip_stack(ddr3_on_bench):
 
 
 @pytest.fixture(scope="session")
+def paper_stacks(ddr3_off_bench, ddr3_on_bench, wideio_bench, hmc_bench):
+    """All four paper benchmarks at baseline: {key: (bench, stack)}."""
+    benches = (ddr3_off_bench, ddr3_on_bench, wideio_bench, hmc_bench)
+    return {b.key: (b, build_stack(b.stack, b.baseline)) for b in benches}
+
+
+@pytest.fixture(scope="session")
 def ddr3_lut(ddr3_stack):
     """Fully precomputed IR-drop LUT on the DDR3 baseline."""
     return IRDropLUT(ddr3_stack)

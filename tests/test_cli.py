@@ -78,3 +78,59 @@ class TestPlanCommand:
     def test_rejects_unknown_benchmark(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["plan", "bogus"])
+
+
+class TestExplainCommand:
+    def test_default_report(self, capsys):
+        assert main(["explain", "ddr3_off"]) == 0
+        out = capsys.readouterr().out
+        assert "Worst-node supply-path decomposition" in out
+        assert "Plan-op attribution" in out
+        assert "0 orphans" in out
+
+    def test_json_artifact_validates(self, capsys, tmp_path):
+        import json
+
+        from repro.pdn.diagnose import validate_explain_dict
+
+        path = tmp_path / "explain.json"
+        assert main(
+            ["explain", "ddr3_off", "--format", "json", "--out", str(path)]
+        ) == 0
+        data = json.loads(path.read_text())
+        validate_explain_dict(data)
+        assert data["benchmark"] == "ddr3_off"
+        printed, _ = json.JSONDecoder().raw_decode(capsys.readouterr().out)
+        assert printed["plan_hash"] == data["plan_hash"]
+
+    def test_heatmaps_and_npz_export(self, capsys, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "maps.npz"
+        assert main(
+            ["explain", "ddr3_off", "--heatmaps", "--heatmap-out", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "shared scale" in out
+        with np.load(path) as maps:
+            keys = set(maps.files)
+            assert "drop_mv__dram4__M1" in keys
+            assert "dissipation_w__dram4__M1" in keys
+
+    def test_explain_with_overrides(self, capsys):
+        assert main(["explain", "ddr3_off", "0-0-0-1", "--tsv-count", "66"]) == 0
+        out = capsys.readouterr().out
+        assert "TC=66" in out
+
+    def test_requires_benchmark_without_diff(self, capsys):
+        assert main(["explain"]) == 2
+
+    def test_diff_between_history_refs(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_HISTORY_DIR", str(tmp_path / "history"))
+        assert main(["explain", "ddr3_off", "--history", "--quiet"]) == 0
+        assert main(["explain", "ddr3_off", "--history", "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["explain", "--diff", "last~1", "last"]) == 0
+        out = capsys.readouterr().out
+        assert "# attribution drift" in out
+        assert "attribution: unchanged" in out

@@ -697,3 +697,117 @@ class TestObsCli:
         runs = store.runs()
         assert len(runs) == 1
         assert runs[0]["experiment_id"] == "table8"
+
+
+# -- attribution physics axis (PR 8) ------------------------------------------
+
+
+def _attribution_summary(components, worst_mv=None, layer="dram4/M1"):
+    total = sum(components.values())
+    return {
+        "ddr3_off": {
+            "benchmark": "ddr3_off",
+            "plan_hash": "f98670cee3d3cd88",
+            "state": "0-0-0-2",
+            "worst_drop_mv": worst_mv if worst_mv is not None else total,
+            "worst_layer": layer,
+            "components_mv": dict(components),
+            "closure_rel": 0.0,
+            "kcl_max_rel": 1e-12,
+            "orphan_branches": 0,
+            "top_op": "add_layer dram4/M3",
+        }
+    }
+
+
+class TestAttributionPhysicsAxis:
+    def test_pre_pr8_record_degrades_to_na(self, tmp_path):
+        """A history written before attribution existed must neither
+        crash the diff nor silently pretend to compare physics."""
+        from pathlib import Path
+
+        store = RunHistoryStore(tmp_path)
+        store.root.mkdir(parents=True, exist_ok=True)
+        fixture = (
+            Path(__file__).parent / "golden" / "pre_pr8_run.json"
+        ).read_text()
+        old = json.loads(fixture)
+        assert "attribution" not in old  # the fixture predates the field
+        with open(store.index_path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(old, sort_keys=True) + "\n")
+        store.ingest_manifest(
+            _manifest_dict(
+                attribution=_attribution_summary({"tsv": 2.5, "metal": 26.0})
+            )
+        )
+        delta = diff_runs(store.resolve("last~1"), store.resolve("last"), store)
+        text = delta_markdown(delta)
+        assert "attribution: n/a" in text
+        assert old["run_id"] in delta.attribution_note
+        assert "predates attribution records" in text
+
+    def test_component_move_attributes_numerical_drift(self):
+        a = normalize_manifest(
+            _manifest_dict(
+                attribution=_attribution_summary(
+                    {"tsv": 2.538, "metal:dram4/M1": 26.152}
+                )
+            )
+        )
+        b = normalize_manifest(
+            _manifest_dict(
+                attribution=_attribution_summary(
+                    {"tsv": 0.969, "metal:dram4/M1": 22.968}
+                )
+            )
+        )
+        delta = diff_runs(a, b)
+        assert delta.drift == "numerical"
+        assert "drifted" in delta.attribution_note
+        moved = {row["component"] for row in delta.attribution_deltas}
+        assert moved == {"tsv", "metal:dram4/M1"}
+        text = delta_markdown(delta)
+        assert "| ddr3_off | tsv |" in text
+
+    def test_identical_attribution_is_no_drift(self):
+        attr = _attribution_summary({"tsv": 2.5, "package": 0.06})
+        a = normalize_manifest(_manifest_dict(attribution=attr))
+        b = normalize_manifest(_manifest_dict(attribution=attr))
+        delta = diff_runs(a, b)
+        assert delta.drift == "none"
+        assert "unchanged" in delta.attribution_note
+
+    def test_worst_layer_move_is_drift(self):
+        a = normalize_manifest(
+            _manifest_dict(
+                attribution=_attribution_summary({"tsv": 2.5}, layer="dram4/M1")
+            )
+        )
+        b = normalize_manifest(
+            _manifest_dict(
+                attribution=_attribution_summary({"tsv": 2.5}, layer="dram1/M1")
+            )
+        )
+        delta = diff_runs(a, b)
+        assert delta.drift == "numerical"
+        assert any("worst-drop layer" in line for line in delta.evidence)
+
+    def test_empty_attribution_reports_none_recorded(self):
+        a = normalize_manifest(_manifest_dict(attribution={}))
+        b = normalize_manifest(_manifest_dict(attribution={}))
+        delta = diff_runs(a, b)
+        assert "none recorded" in delta.attribution_note
+
+    def test_attribution_markdown_renders_table(self):
+        from repro.obs.store import attribution_markdown
+
+        a = normalize_manifest(
+            _manifest_dict(attribution=_attribution_summary({"tsv": 2.5}))
+        )
+        b = normalize_manifest(
+            _manifest_dict(attribution=_attribution_summary({"tsv": 4.0}))
+        )
+        a["run_id"], b["run_id"] = "aaa", "bbb"
+        text = attribution_markdown(diff_runs(a, b))
+        assert "# attribution drift" in text
+        assert "| ddr3_off | tsv |" in text

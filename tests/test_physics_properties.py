@@ -81,6 +81,28 @@ class TestStackPhysicsProperties:
         total_hi = sum(m.total_current for m in ddr3_stack.power_maps(state_hi).values())
         assert total_hi >= total_a - 1e-12
 
+    @pytest.mark.parametrize("backend", ["direct", "cg"])
+    @pytest.mark.parametrize("key", ["ddr3_off", "ddr3_on", "wideio", "hmc"])
+    def test_branch_currents_conserve_charge(self, paper_stacks, key, backend):
+        """KCL on the recovered branch currents: at every interior node
+        the net branch current equals the injected load, within 1e-9
+        relative, on all four paper stacks and both solver backends."""
+        from repro.rmesh import extract_branches
+
+        bench, stack = paper_stacks[key]
+        solver = stack.solver_for(backend)
+        currents = solver.currents_from_maps(
+            stack.power_maps(bench.reference_state())
+        )
+        raw = solver.solve_currents(currents)
+        branches = extract_branches(raw.model, np.asarray(raw.drops))
+        residual = branches.kcl_residual(currents)
+        assert residual["max_rel"] < 1e-9
+        # Global conservation: every injected amp returns via the supply.
+        assert residual["supply_return_a"] == pytest.approx(
+            residual["injected_a"], rel=1e-9
+        )
+
     def test_reciprocity(self, ddr3_stack):
         """Transfer resistance is symmetric: injecting at i and measuring
         at j equals injecting at j and measuring at i."""

@@ -60,8 +60,11 @@ class TestArchived:
         assert "```" in text
 
     def test_real_results_dir_if_present(self):
+        # benchmarks/results/ is git-ignored scratch: earlier tests (and
+        # local bench runs) may have archived a partial subset, so gate on
+        # the table the assertion actually needs, not on the bare dir.
         results_dir = Path(__file__).parent.parent / "benchmarks" / "results"
-        if not results_dir.exists():
-            pytest.skip("no archived results yet")
+        if not (results_dir / "table6.txt").exists():
+            pytest.skip("no archived table6 results yet")
         text = archived_tables_to_markdown(results_dir)
         assert "table6" in text
