@@ -47,6 +47,7 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.errors import ConfigurationError
+from repro.obs import metrics as _metrics
 from repro.obs.atomic import atomic_write_text
 from repro.obs.log import get_logger
 
@@ -211,9 +212,26 @@ class RunHistoryStore:
         self.root.mkdir(parents=True, exist_ok=True)
         line = json.dumps(record, sort_keys=True, default=str) + "\n"
         with open(self.index_path, "a", encoding="utf-8") as fh:
+            if self._tail_missing_newline():
+                # A killed writer left a truncated trailing line; start a
+                # fresh one so this record stays parseable (the partial
+                # line is skipped -- with a warning -- on read).
+                fh.write("\n")
             fh.write(line)
             fh.flush()
         return run_id
+
+    def _tail_missing_newline(self) -> bool:
+        """Whether the index ends mid-line (killed-process artifact)."""
+        try:
+            size = self.index_path.stat().st_size
+        except OSError:
+            return False
+        if size == 0:
+            return False
+        with open(self.index_path, "rb") as fh:
+            fh.seek(-1, os.SEEK_END)
+            return fh.read(1) != b"\n"
 
     def ingest_manifest(self, manifest, source=None, kind: str = "experiment") -> str:
         """Ingest a :class:`RunManifest` (or its dict form); returns run id."""
@@ -294,11 +312,23 @@ class RunHistoryStore:
                 continue
             try:
                 data = json.loads(line)
-            except json.JSONDecodeError:
+            except json.JSONDecodeError as exc:
+                # Truncated trailing line from a killed process (or a
+                # corrupted interior one): skip it with a structured
+                # warning -- `repro3d obs list/diff` must keep working
+                # on the surviving records.
+                _metrics.inc("obs.store.corrupt_lines")
                 _log.warning(
                     "skipping corrupt history line %d in %s",
                     lineno,
                     self.index_path,
+                    extra={
+                        "fields": {
+                            "path": str(self.index_path),
+                            "line": lineno,
+                            "error": str(exc),
+                        }
+                    },
                 )
                 continue
             if isinstance(data, dict):

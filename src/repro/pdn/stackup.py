@@ -329,9 +329,19 @@ class PDNStack:
         warm-start layer passes one it prepared from a neighboring
         point); ``x0`` seeds iterative backends with a previous solution.
         """
+        from repro.resil.retry import protected_call
+
         maps = self.power_maps(state, logic_scale)
+        # The solve runs under the resil chaos/retry hook: a plain call
+        # when no fault spec is active, transparent retry of injected
+        # transients otherwise -- every experiment driver and LUT build
+        # funnels through here, so this one boundary covers them all.
         try:
-            raw = (solver or self.solver).solve_power_maps(maps, x0=x0)
+            raw = protected_call(
+                lambda: (solver or self.solver).solve_power_maps(maps, x0=x0),
+                site="solve_state",
+                key=f"{self.plan_hash or 'none'}:{state.label()}:{logic_scale}",
+            )
         except SolverError as exc:
             self._annotate_solver_error(exc, [state])
             raise
@@ -347,6 +357,8 @@ class PDNStack:
         :meth:`~repro.rmesh.solve.StackSolver.solve_many` call.  Result
         ``i`` is numerically identical to ``solve_state(states[i])``.
         """
+        from repro.resil.retry import protected_call
+
         if not states:
             return []
         try:
@@ -355,7 +367,11 @@ class PDNStack:
             currents = np.stack(
                 [solver.currents_from_maps(maps) for maps in all_maps], axis=1
             )
-            raws = solver.solve_many(currents)
+            raws = protected_call(
+                lambda: solver.solve_many(currents),
+                site="solve_states",
+                key=f"{self.plan_hash or 'none'}:{len(states)}:{logic_scale}",
+            )
         except SolverError as exc:
             self._annotate_solver_error(exc, states)
             raise

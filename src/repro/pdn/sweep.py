@@ -82,11 +82,20 @@ class SweepSolveSession:
         tech: Any = None,
         pitch: Optional[float] = None,
         refresh_iters: int = DEFAULT_REFRESH_ITERS,
+        checkpoint: Any = None,
     ) -> None:
+        from repro.resil.checkpoint import default_checkpoint
+
         self.backend = resolve_backend(backend)
         self.tech = tech
         self.pitch = pitch
         self.refresh_iters = refresh_iters
+        # ``checkpoint=None`` picks up the process checkpoint named by
+        # REPRO_CHECKPOINT / ``repro3d --resume`` (None when unset);
+        # pass an explicit SweepCheckpoint to journal one sweep apart.
+        self.checkpoint = (
+            checkpoint if checkpoint is not None else default_checkpoint()
+        )
         self._prev_plan: Optional[StackPlan] = None
         self._prev_solver: Optional[StackSolver] = None
         # Previous solutions keyed by (state label, logic scale): the x0
@@ -140,6 +149,7 @@ class SweepSolveSession:
         Returns a :class:`~repro.pdn.stackup.StackIRResult`.
         """
         from repro.perf.cache import cached_build_stack
+        from repro.resil.checkpoint import point_key
 
         stack = cached_build_stack(
             bench.stack if hasattr(bench, "stack") else bench,
@@ -147,9 +157,23 @@ class SweepSolveSession:
             tech=self.tech,
             pitch=self.pitch,
         )
+        # Checkpoint lookup before any solve work: a resumed run serves
+        # completed design points straight from the journal (keyed by
+        # the plan's content hash, so edited inputs miss cleanly).
+        ck_key = None
+        if self.checkpoint is not None and stack.plan is not None:
+            ck_key = point_key(
+                stack.plan.plan_hash, state.label(), logic_scale
+            )
+            hit = self.checkpoint.lookup(ck_key)
+            if hit is not None:
+                return hit
         if self.backend == "direct":
             # Transparent pass-through: shared solver, no session state.
-            return stack.solve_state(state, logic_scale)
+            result = stack.solve_state(state, logic_scale)
+            if ck_key is not None:
+                self.checkpoint.record(ck_key, result)
+            return result
 
         with span("sweep.solve", backend=self.backend) as sp:
             solver = self._solver_for(stack)
@@ -171,6 +195,8 @@ class SweepSolveSession:
             _metrics.inc("sweep.preconditioner_refreshes")
         self._prev_plan = stack.plan
         self._prev_solver = solver
+        if ck_key is not None:
+            self.checkpoint.record(ck_key, result)
         return result
 
     def stats(self) -> Dict[str, int]:

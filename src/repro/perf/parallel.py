@@ -7,6 +7,16 @@ design point builds, factorizes, and solves its own stack.
 plain serial loop when one worker is requested or when the platform
 cannot spawn processes (sandboxes, restricted containers).
 
+Execution is fault-tolerant (:mod:`repro.resil.execute`): every item is
+its own future, transient failures (worker crashes, pool breakage,
+injected faults) are retried with backoff, a broken pool is rebuilt --
+re-queueing only in-flight items, keeping completed results -- and the
+remaining work degrades to a serial run when the pool cannot be
+restored.  ``map_design_points`` keeps the historical all-or-nothing
+contract (the first *permanent* failure raises); callers that want
+partial results plus a failure report use
+:func:`repro.resil.execute.run_tasks` directly.
+
 Observability crosses the process boundary: each worker task runs inside
 :class:`_ObsTask`, which snapshots the timer and metric registries
 around the call and ships the *delta* (plus any trace spans the task
@@ -19,7 +29,9 @@ Worker count resolution order:
 
 1. explicit ``workers`` argument (``None``/``0`` mean "decide for me"),
 2. the ``REPRO_WORKERS`` environment variable (the CLI ``--workers``
-   flag sets it so experiment drivers inherit the knob),
+   flag sets it so experiment drivers inherit the knob) -- malformed
+   values warn and degrade to serial (:mod:`repro.envcfg`) instead of
+   crashing a sweep,
 3. serial (1 worker) -- parallelism is opt-in, because for small sweeps
    process startup can cost more than it saves.
 """
@@ -27,16 +39,17 @@ Worker count resolution order:
 from __future__ import annotations
 
 import os
-import warnings
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
+from repro import envcfg
 from repro.obs import metrics as _metrics
 from repro.obs import profile as _profile
 from repro.obs import trace as _trace
 from repro.perf import timers as _timers
 from repro.perf.timers import timed
+from repro.resil import faults as _faults
+from repro.resil.execute import TaskReport, run_tasks
 from repro.rmesh import backends as _backends
 
 T = TypeVar("T")
@@ -50,17 +63,15 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     """Resolve a worker count from the argument or the environment.
 
     ``workers=None`` or ``0`` consults ``REPRO_WORKERS``; absent or
-    invalid values resolve to 1 (serial).  Counts are clamped to at
-    least 1 and at most the machine's CPU count times 2 (oversubscribing
-    beyond that only adds scheduler churn for this CPU-bound work).
+    invalid values warn and resolve to 1 (serial).  Counts are clamped
+    to at least 1 and at most the machine's CPU count times 2
+    (oversubscribing beyond that only adds scheduler churn for this
+    CPU-bound work).
     """
     if workers is None or workers == 0:
-        raw = os.environ.get(WORKERS_ENV, "")
-        try:
-            workers = int(raw)
-        except ValueError:
-            workers = 1
-        if workers < 0:  # env values degrade instead of crashing a sweep
+        # Env values degrade instead of crashing a sweep.
+        workers = envcfg.env_int(WORKERS_ENV, 1, minimum=0)
+        if workers == 0:
             workers = 1
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
@@ -114,18 +125,39 @@ class _ObsTask:
         )
 
 
+class _ResilTask:
+    """Payload-form :class:`_ObsTask` for the fault-tolerant executor.
+
+    Receives ``(index, tries, item)`` so the worker-side fault-injection
+    decision point is keyed by the task *and* its submission attempt --
+    a retried task re-rolls its fault draw instead of crashing
+    identically forever.  The fault check runs before the obs snapshots:
+    an injected failure ships no delta, exactly like a real crash.
+    """
+
+    def __init__(self, fn: Callable[[T], R]) -> None:
+        self._obs = _ObsTask(fn)
+
+    def __call__(self, payload: Tuple[int, int, T]) -> _WorkerReturn:
+        index, tries, item = payload
+        _faults.check_task(str(index), attempt=tries)
+        return self._obs(item)
+
+
+def _merge_worker_return(wr: _WorkerReturn) -> Any:
+    """Fold one worker delta into the parent registries; return the result."""
+    _timers.merge_snapshot(wr.timers)
+    _metrics.merge(wr.metrics)
+    _trace.absorb_spans(wr.spans)
+    _profile.absorb_samples(wr.profile)
+    _backends.absorb_traces(wr.convergence)
+    _metrics.inc("parallel.worker_tasks_merged")
+    return wr.result
+
+
 def _merge_worker_returns(returns: Sequence[_WorkerReturn]) -> List[Any]:
     """Fold worker deltas into the parent registries; return raw results."""
-    results: List[Any] = []
-    for wr in returns:
-        _timers.merge_snapshot(wr.timers)
-        _metrics.merge(wr.metrics)
-        _trace.absorb_spans(wr.spans)
-        _profile.absorb_samples(wr.profile)
-        _backends.absorb_traces(wr.convergence)
-        results.append(wr.result)
-    _metrics.inc("parallel.worker_tasks_merged", len(returns))
-    return results
+    return [_merge_worker_return(wr) for wr in returns]
 
 
 def map_design_points(
@@ -138,31 +170,39 @@ def map_design_points(
 
     Results are returned in input order regardless of worker count, so
     callers see identical output from serial and parallel runs.  ``fn``
-    and the items must be picklable when ``workers > 1``.  If the
-    executor cannot start (no fork/spawn permitted), the call degrades
-    to the serial loop with a warning instead of failing.  Worker timer,
-    metric, and span registries are merged back into this process (see
-    module docstring), so observability output matches a serial run.
+    and the items must be picklable when ``workers > 1``.  Execution
+    runs on the fault-tolerant engine (:mod:`repro.resil.execute`):
+    transient worker failures are retried, a broken pool is rebuilt
+    (completed results kept), and if the executor cannot start or stay
+    up, the remaining items degrade to a serial loop instead of
+    discarding finished work.  Worker timer, metric, and span
+    registries are merged back into this process (see module
+    docstring), so observability output matches a serial run.
+
+    A task that fails *permanently* (non-transient error, or attempts
+    exhausted) raises, preserving the historical all-or-nothing
+    contract; use :func:`repro.resil.execute.run_tasks` for partial
+    results plus a failure report.  ``chunksize`` is accepted for
+    backward compatibility and ignored -- per-task tracking requires
+    one future per item.
     """
+    del chunksize  # submit-per-item supersedes chunked map
     items = list(items)
     workers = resolve_workers(workers)
     if workers <= 1 or len(items) <= 1:
         with timed("parallel.serial_map"):
-            return [fn(item) for item in items]
-    task = _ObsTask(fn)
-    try:
+            report = run_tasks(fn, items, workers=1)
+    else:
         with timed("parallel.process_map"):
-            with ProcessPoolExecutor(max_workers=min(workers, len(items))) as ex:
-                returns = list(ex.map(task, items, chunksize=chunksize))
-        return _merge_worker_returns(returns)
-    except (OSError, PermissionError) as exc:
-        warnings.warn(
-            f"process pool unavailable ({exc}); falling back to serial",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        with timed("parallel.serial_map"):
-            return [fn(item) for item in items]
+            report = run_tasks(
+                fn,
+                items,
+                workers=workers,
+                task_factory=_ResilTask,
+                merge=_merge_worker_return,
+            )
+    report.raise_first()
+    return list(report.results)
 
 
 def iter_chunks(items: Sequence[T], size: int) -> Iterable[List[T]]:
@@ -171,3 +211,13 @@ def iter_chunks(items: Sequence[T], size: int) -> Iterable[List[T]]:
         raise ValueError(f"chunk size must be >= 1, got {size}")
     for start in range(0, len(items), size):
         yield list(items[start : start + size])
+
+
+__all__ = [
+    "WORKERS_ENV",
+    "TaskReport",
+    "iter_chunks",
+    "map_design_points",
+    "resolve_workers",
+    "run_tasks",
+]

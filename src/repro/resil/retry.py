@@ -1,0 +1,228 @@
+"""Retry policy, backoff, and structured task-failure records.
+
+The contract change this module carries: a failed design point is
+*data*, not a crash.  :class:`TaskFailure` captures what a task's dying
+exception knew -- type, message, the :class:`~repro.errors.ReproError`
+structured context, how many attempts were spent -- in a picklable,
+JSON-able record that rides back in a
+:class:`~repro.resil.execute.TaskReport` next to the results that did
+complete.
+
+:class:`RetryPolicy` decides how hard to try before giving up:
+
+* ``max_attempts`` bounded retries for *transient* failures (worker
+  crashes, pool breakage, injected faults, timeouts).  Deterministic
+  errors -- a singular matrix is singular on every retry -- fail
+  immediately; retrying them only burns wall time.
+* exponential backoff with deterministic jitter (hashed from the task
+  key, not ``random``): replays are reproducible and concurrent
+  retries still decorrelate.
+* ``task_timeout_s`` per-task deadline, enforced by the parallel
+  executor (a serial caller cannot preempt itself).
+
+Env knobs (all warn-and-default via :mod:`repro.envcfg`):
+``REPRO_RETRY_MAX``, ``REPRO_RETRY_DELAY`` (seconds, base),
+``REPRO_TASK_TIMEOUT`` (seconds, 0 disables), ``REPRO_POOL_REBUILDS``.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, TypeVar
+
+from repro import envcfg
+from repro.errors import ReproError
+from repro.obs import metrics as _metrics
+from repro.obs.log import get_logger
+from repro.resil import faults
+
+_log = get_logger("resil.retry")
+
+R = TypeVar("R")
+
+RETRY_MAX_ENV = "REPRO_RETRY_MAX"
+RETRY_DELAY_ENV = "REPRO_RETRY_DELAY"
+TASK_TIMEOUT_ENV = "REPRO_TASK_TIMEOUT"
+POOL_REBUILDS_ENV = "REPRO_POOL_REBUILDS"
+
+DEFAULT_MAX_ATTEMPTS = 4
+DEFAULT_BASE_DELAY_S = 0.05
+DEFAULT_MAX_DELAY_S = 2.0
+DEFAULT_POOL_REBUILDS = 8
+
+#: Exception types retried as transient.  Everything else is assumed
+#: deterministic and fails fast.
+TRANSIENT_TYPES = (
+    faults.InjectedFault,
+    BrokenProcessPool,
+    TimeoutError,
+    ConnectionError,
+    MemoryError,
+)
+
+
+@dataclass
+class TaskFailure:
+    """What remains of a task that exhausted its attempts."""
+
+    index: int
+    item: str
+    error_type: str
+    message: str
+    attempts: int
+    context: Dict[str, object] = field(default_factory=dict)
+    timed_out: bool = False
+    #: The final exception, kept parent-side for re-raising; excluded
+    #: from serialization (``to_dict``) on purpose.
+    exception: Optional[BaseException] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "item": self.item,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+            "context": dict(self.context),
+            "timed_out": self.timed_out,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TaskFailure":
+        return cls(
+            index=int(data["index"]),
+            item=str(data["item"]),
+            error_type=str(data["error_type"]),
+            message=str(data["message"]),
+            attempts=int(data["attempts"]),
+            context=dict(data.get("context", {})),  # type: ignore[arg-type]
+            timed_out=bool(data.get("timed_out", False)),
+        )
+
+    @classmethod
+    def from_exception(
+        cls,
+        index: int,
+        item: Any,
+        exc: BaseException,
+        attempts: int,
+        timed_out: bool = False,
+    ) -> "TaskFailure":
+        context: Dict[str, object] = {}
+        if isinstance(exc, ReproError):
+            context = dict(exc.context)
+        text = repr(item)
+        if len(text) > 200:
+            text = text[:197] + "..."
+        return cls(
+            index=index,
+            item=text,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            attempts=attempts,
+            context=context,
+            timed_out=timed_out,
+            exception=exc,
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard the executor tries before recording a failure."""
+
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    base_delay_s: float = DEFAULT_BASE_DELAY_S
+    max_delay_s: float = DEFAULT_MAX_DELAY_S
+    task_timeout_s: Optional[float] = None
+    pool_rebuilds: int = DEFAULT_POOL_REBUILDS
+
+    @classmethod
+    def from_env(cls) -> "RetryPolicy":
+        timeout = envcfg.env_float(TASK_TIMEOUT_ENV, 0.0, minimum=0.0)
+        return cls(
+            max_attempts=envcfg.env_int(
+                RETRY_MAX_ENV, DEFAULT_MAX_ATTEMPTS, minimum=1
+            ),
+            base_delay_s=envcfg.env_float(
+                RETRY_DELAY_ENV, DEFAULT_BASE_DELAY_S, minimum=0.0
+            ),
+            task_timeout_s=timeout if timeout > 0 else None,
+            pool_rebuilds=envcfg.env_int(
+                POOL_REBUILDS_ENV, DEFAULT_POOL_REBUILDS, minimum=0
+            ),
+        )
+
+    def is_transient(self, exc: BaseException) -> bool:
+        return isinstance(exc, TRANSIENT_TYPES)
+
+    def backoff_s(self, attempt: int, key: str = "") -> float:
+        """Delay before retry ``attempt`` (1-based), jittered.
+
+        Exponential base with up to +50% jitter drawn deterministically
+        from ``(key, attempt)`` -- replayable, yet different tasks
+        retrying concurrently spread out instead of thundering back in
+        lockstep.
+        """
+        if self.base_delay_s <= 0:
+            return 0.0
+        base = self.base_delay_s * (2 ** max(0, attempt - 1))
+        jitter = faults._uniform_draw(0, "backoff", key, attempt) * 0.5
+        return min(base * (1.0 + jitter), self.max_delay_s)
+
+
+def protected_call(
+    fn: Callable[[], R],
+    site: str,
+    key: str,
+    policy: Optional[RetryPolicy] = None,
+) -> R:
+    """Run ``fn`` under fault injection + transient retry, serially.
+
+    This is the chaos/retry hook for in-process solve sites (experiment
+    drivers run sweeps serially by default).  Without an active fault
+    plan it is a plain call -- zero overhead, bitwise-identical
+    behavior; genuine in-process solve failures are deterministic, so
+    retrying them blind would only mask bugs.  Under an active plan,
+    injected transients are retried with backoff up to the policy's
+    attempt budget, and the exhausted exception carries
+    ``site``/``key``/``attempts`` context.
+    """
+    if not faults.fault_injection_active():
+        return fn()
+    policy = policy or RetryPolicy.from_env()
+    attempt = 0
+    while True:
+        try:
+            faults.check_task(key, attempt=attempt, site=site)
+            return fn()
+        except Exception as exc:
+            attempt += 1
+            if not policy.is_transient(exc) or attempt >= policy.max_attempts:
+                if isinstance(exc, ReproError):
+                    exc.add_context(site=site, task_key=key, attempts=attempt)
+                _metrics.inc("resil.task_failures")
+                raise
+            _metrics.inc("resil.retries")
+            delay = policy.backoff_s(attempt, key=key)
+            _log.warning(
+                "transient failure at %s[%s] (attempt %d/%d): %s; retrying",
+                site,
+                key,
+                attempt,
+                policy.max_attempts,
+                exc,
+                extra={
+                    "fields": {
+                        "site": site,
+                        "key": key,
+                        "attempt": attempt,
+                        "error": type(exc).__name__,
+                    }
+                },
+            )
+            if delay > 0:
+                time.sleep(delay)

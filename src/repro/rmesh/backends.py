@@ -62,10 +62,13 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro import envcfg
 from repro.errors import ConfigurationError, SolverError
 from repro.obs import metrics as _metrics
 from repro.obs.log import get_logger
 from repro.obs.profile import BoundedSeries
+from repro.obs.trace import span
+from repro.resil import faults as _faults
 
 _log = get_logger("rmesh.backends")
 
@@ -217,26 +220,22 @@ def resolve_backend(choice: Optional[str] = None) -> str:
 
 
 def _cg_rtol() -> float:
-    return float(os.environ.get(CG_RTOL_ENV) or DEFAULT_CG_RTOL)
+    # Env knobs warn-and-default (repro.envcfg): a typo'd tolerance must
+    # not throw away a half-finished sweep.
+    return envcfg.env_float(CG_RTOL_ENV, DEFAULT_CG_RTOL, minimum=0.0)
 
 
 def _cg_precond() -> str:
-    kind = (os.environ.get(CG_PRECOND_ENV) or DEFAULT_CG_PRECOND).lower()
-    if kind not in PRECONDITIONERS:
-        raise ConfigurationError(
-            f"unknown cg preconditioner {kind!r}; known: "
-            f"{list(PRECONDITIONERS)} (set via {CG_PRECOND_ENV})"
-        )
-    return kind
+    return envcfg.env_choice(
+        CG_PRECOND_ENV, DEFAULT_CG_PRECOND, PRECONDITIONERS
+    )
 
 
 def _cg_maxiter(num_nodes: int) -> int:
-    env = os.environ.get(CG_MAXITER_ENV)
-    if env:
-        return int(env)
     # Jacobi-CG on these meshes needs a few hundred iterations; leave
     # ample headroom before declaring divergence.
-    return max(10 * num_nodes, 2000)
+    fallback = max(10 * num_nodes, 2000)
+    return envcfg.env_int(CG_MAXITER_ENV, fallback, minimum=1)
 
 
 # ---------------------------------------------------------------------------
@@ -442,6 +441,12 @@ class CGOperator(SolverOperator):
         # exponential decay the curve describes.  The callback never
         # feeds back into CG, so traced and untraced solves are bitwise
         # identical.
+        # Chaos hook: an injected ConvergenceStallFault is a SolverError,
+        # so it takes exactly the path a real non-convergence takes --
+        # including the escalation ladder when one is wrapped around us.
+        _faults.check_cg(
+            f"{self._matrix.shape[0]}", attempt=self._solve_index
+        )
         traced = trace_enabled() and self._solve_index % trace_every() == 0
         self._solve_index += 1
         series: Optional[BoundedSeries] = None
@@ -559,6 +564,168 @@ class AMGOperator(SolverOperator):
     solve = CGOperator.solve  # same CG acceleration, different M
 
 
+#: Environment switch for solver escalation ("0" disables).
+ESCALATION_ENV = "REPRO_SOLVER_ESCALATE"
+
+
+def escalation_enabled() -> bool:
+    """Whether iterative non-convergence escalates (default on)."""
+    return os.environ.get(ESCALATION_ENV, "1") not in ("", "0")
+
+
+class EscalatingOperator:
+    """Degrade-but-complete wrapper around an iterative operator.
+
+    A CG/AMG solve that fails to converge (ill-conditioned stress mesh,
+    drifted warm-start preconditioner, injected stall) historically
+    surfaced as a hard :class:`~repro.errors.SolverError`.  This wrapper
+    turns it into a degraded-but-correct answer by climbing a ladder:
+
+    1. retry the solve with a *stronger* preconditioner -- a fresh
+       complete factorization (``factor``) of this very matrix -- when
+       the failing operator was using something weaker (``jacobi``);
+    2. fall back to the ``direct`` SuperLU path, which cannot
+       not-converge.
+
+    The ladder is sticky: once a stronger CG operator succeeds it
+    serves subsequent solves; once the direct fallback is built it
+    handles them outright.  ``escalation`` records the highest rung
+    used (``None`` / ``"factor"`` / ``"direct"``) and is threaded onto
+    :class:`~repro.rmesh.solve.IRDropResult` provenance; each climb
+    bumps ``resil.solver_escalations`` (+ per-rung counters) inside a
+    ``resil.solver_escalation`` trace span.
+
+    Escalation changes *which* solver produced the answer, so results
+    after a direct fallback are bitwise those of the direct backend --
+    which is exactly the degraded contract: correct physics, provenance
+    recorded, sweep not lost.  Raw operators used without the wrapper
+    (``escalation_enabled() == False`` or direct construction) keep the
+    historical raise-on-non-convergence semantics.
+    """
+
+    def __init__(self, inner: SolverOperator, matrix: sp.spmatrix, **options) -> None:
+        self._inner = inner
+        self._matrix = matrix
+        self._options = dict(options)
+        self._direct: Optional[DirectOperator] = None
+        #: Highest rung used so far: None, "factor", or "direct".
+        self.escalation: Optional[str] = None
+        #: The operator that produced the most recent solve.
+        self._last_op: SolverOperator = inner
+
+    # Delegated introspection: report from whichever operator actually
+    # produced the last answer, so iteration counts and traces always
+    # describe the solve the caller got.
+
+    @property
+    def inner(self) -> SolverOperator:
+        """The currently-serving iterative operator (introspection)."""
+        return self._inner
+
+    @property
+    def name(self) -> str:
+        return self._inner.name
+
+    @property
+    def iterations(self) -> int:
+        return self._last_op.iterations
+
+    @property
+    def total_iterations(self) -> int:
+        return self._inner.total_iterations + (
+            self._direct.total_iterations if self._direct is not None else 0
+        )
+
+    @property
+    def preconditioner(self) -> Optional[Preconditioner]:
+        return self._inner.preconditioner
+
+    @property
+    def reused_preconditioner(self) -> bool:
+        return self._inner.reused_preconditioner
+
+    @property
+    def last_trace(self) -> Optional[ResidualTrace]:
+        return self._last_op.last_trace
+
+    def _stronger_cg(self) -> CGOperator:
+        opts = dict(self._options)
+        opts["precond_kind"] = "factor"
+        opts.pop("preconditioner", None)
+        return CGOperator(
+            self._matrix,
+            precond_kind="factor",
+            rtol=opts.get("rtol"),
+            maxiter=opts.get("maxiter"),
+        )
+
+    def _record(self, rung: str, cause: SolverError) -> None:
+        self.escalation = rung
+        _metrics.inc("resil.solver_escalations")
+        _metrics.inc(f"resil.escalation.{rung}")
+        _log.warning(
+            "iterative solve failed (%s); escalated to %s",
+            cause,
+            rung,
+            extra={
+                "fields": {
+                    "rung": rung,
+                    "nodes": int(self._matrix.shape[0]),
+                    "error": str(cause),
+                }
+            },
+        )
+
+    def solve(
+        self, rhs: np.ndarray, x0: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        if self.escalation == "direct" and self._direct is not None:
+            # Sticky top rung: the iterative path already proved
+            # untrustworthy for this system.
+            self._last_op = self._direct
+            return self._direct.solve(rhs)
+        try:
+            x = self._inner.solve(rhs, x0=x0)
+            self._last_op = self._inner
+            return x
+        except SolverError as exc:
+            first = exc
+        with span(
+            "resil.solver_escalation", nodes=int(self._matrix.shape[0])
+        ) as sp_:
+            precond = self._inner.preconditioner
+            if precond is not None and precond.kind == "jacobi":
+                try:
+                    stronger = self._stronger_cg()
+                    x = stronger.solve(rhs, x0=x0)
+                except SolverError:
+                    pass
+                else:
+                    self._inner = stronger
+                    self._last_op = stronger
+                    self._record("factor", first)
+                    sp_.attrs["rung"] = "factor"
+                    return x
+            if self._direct is None:
+                self._direct = DirectOperator(self._matrix.tocsc())
+            x = self._direct.solve(rhs)
+            self._last_op = self._direct
+            self._record("direct", first)
+            sp_.attrs["rung"] = "direct"
+            return x
+
+    def solve_block(
+        self, block: np.ndarray, x0: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        out = np.empty_like(block, order="F")
+        for i in range(block.shape[1]):
+            guess = None
+            if x0 is not None:
+                guess = x0 if x0.ndim == 1 else x0[:, i]
+            out[:, i] = self.solve(block[:, i], x0=guess)
+        return out
+
+
 def amg_available() -> bool:
     """Whether the optional pyamg dependency is importable."""
     try:
@@ -600,17 +767,23 @@ def make_operator(
     if backend == "cg":
         if prev is not None and prev.kind not in PRECONDITIONERS:
             prev = None  # pragma: no cover - cross-backend handoff
-        return CGOperator(matrix, preconditioner=prev, **options)
-    if backend == "amg":
-        return AMGOperator(  # pragma: no cover - exercised when pyamg exists
+        op: SolverOperator = CGOperator(matrix, preconditioner=prev, **options)
+    elif backend == "amg":
+        op = AMGOperator(  # pragma: no cover - exercised when pyamg exists
             matrix,
             preconditioner=prev,
             rtol=options.get("rtol"),
             maxiter=options.get("maxiter"),
         )
-    raise ConfigurationError(
-        f"unknown solver backend {backend!r}; known: {list(BACKENDS)}"
-    )
+    else:
+        raise ConfigurationError(
+            f"unknown solver backend {backend!r}; known: {list(BACKENDS)}"
+        )
+    if escalation_enabled():
+        # Library call sites get degrade-but-complete semantics; raw
+        # operator construction keeps the historical raise.
+        return EscalatingOperator(op, matrix, **options)  # type: ignore[return-value]
+    return op
 
 
 #: Convenience export for callers that enumerate operators per backend.

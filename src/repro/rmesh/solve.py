@@ -83,6 +83,11 @@ class IRDropResult:
     #: and untraced iterations.  Carries backend/preconditioner/rtol
     #: provenance plus a bounded ``[iteration, relative residual]`` curve.
     convergence: Optional["ResidualTrace"] = field(default=None, compare=False)
+    #: Highest escalation rung the backend climbed to produce this
+    #: solve (``None`` = converged as configured, ``"factor"`` =
+    #: retried with a stronger preconditioner, ``"direct"`` = fell back
+    #: to SuperLU).  See :class:`repro.rmesh.backends.EscalatingOperator`.
+    escalated: Optional[str] = field(default=None, compare=False)
 
     def max_drop(self) -> float:
         """Worst IR drop anywhere in the stack, volts."""
@@ -298,6 +303,7 @@ class StackSolver:
             backend=self._op.name,
             iterations=self._op.iterations,
             convergence=self._op.last_trace,
+            escalated=getattr(self._op, "escalation", None),
         )
 
     def solve_block(
@@ -375,6 +381,7 @@ class StackSolver:
                 backend=self._op.name,
                 iterations=self._op.iterations,
                 convergence=self._op.last_trace if i == last else None,
+                escalated=getattr(self._op, "escalation", None),
             )
             for i in range(block.shape[1])
         ]

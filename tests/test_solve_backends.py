@@ -24,6 +24,7 @@ from repro.rmesh.backends import (
     BACKENDS,
     CGOperator,
     DirectOperator,
+    EscalatingOperator,
     FactorPreconditioner,
     JacobiPreconditioner,
     amg_available,
@@ -81,10 +82,12 @@ def test_resolve_backend_rejects_unknown(monkeypatch):
         resolve_backend()
 
 
-def test_invalid_cg_precond_env(monkeypatch):
+def test_invalid_cg_precond_env_defaults(monkeypatch):
+    # Env knobs warn-and-default instead of raising mid-sweep: a typo'd
+    # REPRO_CG_PRECOND must not throw away a half-finished run.
     monkeypatch.setenv("REPRO_CG_PRECOND", "ilu")
-    with pytest.raises(ConfigurationError):
-        CGOperator(_spd_matrix())
+    op = CGOperator(_spd_matrix())
+    assert op.preconditioner.kind == "factor"
 
 
 # -- preconditioners ----------------------------------------------------------
@@ -134,7 +137,8 @@ def test_amg_falls_back_to_cg_without_pyamg():
         pytest.skip("pyamg installed; fallback path not reachable")
     before = obs_metrics.snapshot()
     op = make_operator("amg", _spd_matrix())
-    assert isinstance(op, CGOperator)
+    assert isinstance(op, EscalatingOperator)
+    assert isinstance(op.inner, CGOperator)
     delta = obs_metrics.diff(before, obs_metrics.snapshot())
     assert delta["counters"].get("solver.amg_fallbacks") == 1
 
@@ -203,7 +207,8 @@ def test_env_backend_reaches_stack_solver(monkeypatch):
     monkeypatch.setenv("REPRO_SOLVER", "cg")
     solver = StackSolver(WORKLOAD.model)
     assert solver.backend == "cg"
-    assert isinstance(solver.operator, CGOperator)
+    assert isinstance(solver.operator, EscalatingOperator)
+    assert isinstance(solver.operator.inner, CGOperator)
 
 
 # -- SolverError paths --------------------------------------------------------
