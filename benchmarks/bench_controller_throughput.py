@@ -1,0 +1,96 @@
+"""Controller engine throughput: event-driven core vs the legacy loop.
+
+The event-driven engine exists to make multi-million-request trace
+studies practical, so this bench gates its speedup directly: both
+engines run the same saturating 16-channel workload (the HMC shape,
+where the per-cycle loop must scan 128 banks every cycle) and the event
+engine must sustain at least 20x the legacy loop's requests/second.
+
+The legacy loop runs a short prefix of the stream (it is the slow side
+being measured -- timing it on the full workload would dominate the
+suite), while the event engine runs a much longer one; both rates are
+per-request, so the ratio is shape-fair.
+"""
+
+import os
+import time
+
+from repro.bench import register_bench
+from repro.controller import (
+    SimConfig,
+    StandardJEDEC,
+    WorkloadConfig,
+    generate_workload,
+)
+from repro.controller.engine import EventDrivenEngine
+from repro.controller.simulator import MemoryControllerSim
+from repro.dram.timing import TimingParams
+
+#: the acceptance gate: event-engine req/s over legacy req/s.
+SPEEDUP_GATE = 20.0
+
+
+def _workload(n: int):
+    """Saturating traffic across 32 banks/die (the ext_hmc shape)."""
+    return generate_workload(
+        WorkloadConfig(
+            num_requests=n, seed=7, banks_per_die=32, arrival_interval=1
+        )
+    )
+
+
+def _config(timing: TimingParams) -> SimConfig:
+    return SimConfig(
+        timing=timing,
+        num_dies=4,
+        banks_per_die=32,
+        num_channels=16,
+        max_banks_per_die=8,
+        max_banks_per_channel=2,
+    )
+
+
+def run_throughput_comparison(n_event: int, n_legacy: int):
+    timing = TimingParams.hmc_2500()
+    cfg = _config(timing)
+
+    t0 = time.perf_counter()
+    res_event = EventDrivenEngine(
+        cfg, StandardJEDEC(timing), _workload(n_event)
+    ).run()
+    dt_event = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    res_legacy = MemoryControllerSim(
+        cfg, StandardJEDEC(timing), _workload(n_legacy)
+    ).run_legacy()
+    dt_legacy = time.perf_counter() - t0
+
+    assert res_event.finished and res_legacy.finished
+    return {
+        "event_req_s": n_event / dt_event,
+        "legacy_req_s": n_legacy / dt_legacy,
+        "speedup": (n_event / dt_event) / (n_legacy / dt_legacy),
+        "event_cycles": res_event.cycles,
+    }
+
+
+@register_bench("controller_throughput", tags=("controller",))
+def test_controller_throughput(benchmark):
+    fast = os.environ.get("REPRO_FAST", "0") == "1"
+    n_event = 10_000 if fast else 30_000
+    n_legacy = 800 if fast else 1_500
+    row = benchmark.pedantic(
+        run_throughput_comparison,
+        args=(n_event, n_legacy),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n== controller engine throughput ==")
+    print(f"  event : {row['event_req_s']:>10,.0f} req/s  ({n_event:,} requests)")
+    print(f"  legacy: {row['legacy_req_s']:>10,.0f} req/s  ({n_legacy:,} requests)")
+    print(f"  speedup: {row['speedup']:.1f}x  (gate >= {SPEEDUP_GATE:.0f}x)")
+    assert row["speedup"] >= SPEEDUP_GATE, (
+        f"event engine only {row['speedup']:.1f}x over legacy "
+        f"(gate {SPEEDUP_GATE}x)"
+    )

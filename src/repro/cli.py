@@ -259,6 +259,170 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+_SIM_TIMINGS = ("ddr3", "wideio", "hmc")
+
+
+def _sim_timing(name: str):
+    from repro.dram.timing import TimingParams
+
+    return {
+        "ddr3": TimingParams.ddr3_1600,
+        "wideio": TimingParams.wideio_200,
+        "hmc": TimingParams.hmc_2500,
+    }[name]()
+
+
+def _cmd_sim(args: argparse.Namespace) -> int:
+    """Run the event-driven controller on a memory trace.
+
+    The trace streams through the engine (constant memory in trace
+    length); ``--legacy`` instead materializes it and runs the original
+    per-cycle loop for cross-checking.
+    """
+    import time
+
+    from repro.controller.engine import EventDrivenEngine, SimConfig
+    from repro.controller.lut import IRDropLUT
+    from repro.controller.policies import (
+        IRAwareDistR,
+        IRAwareFCFS,
+        StandardJEDEC,
+    )
+    from repro.controller.request import TraceMapping, read_trace
+    from repro.controller.simulator import MemoryControllerSim
+    from repro.power.model import (
+        DDR3_POWER,
+        HMC_POWER,
+        WIDEIO_POWER,
+        CommandEnergySpec,
+        energy_ledger,
+    )
+
+    timing = _sim_timing(args.timing)
+    mapping = TraceMapping(
+        num_dies=args.dies, banks_per_die=args.banks_per_die
+    )
+    config = SimConfig(
+        timing=timing,
+        num_dies=args.dies,
+        banks_per_die=args.banks_per_die,
+        num_channels=args.channels,
+        queue_depth=args.queue_depth,
+        max_banks_per_die=args.max_banks_per_die,
+        close_window=args.close_window,
+        refresh_enabled=args.refresh,
+    )
+
+    lut = None
+    if args.lut:
+        lut = IRDropLUT.from_json(Path(args.lut).read_text())
+    if args.policy == "standard":
+        policy = StandardJEDEC(timing)
+    else:
+        if lut is None:
+            _log.error(
+                "policy %s needs an IR-drop table: pass --lut FILE "
+                "(serialize one with IRDropLUT.to_json)",
+                args.policy,
+            )
+            return 2
+        cls = IRAwareFCFS if args.policy == "ir_fcfs" else IRAwareDistR
+        policy = cls(lut, constraint_mv=args.constraint)
+
+    workload = read_trace(
+        args.trace,
+        fmt=args.format,
+        mapping=mapping,
+        arrival_interval=args.arrival_interval,
+    )
+    start = time.perf_counter()
+    if args.legacy:
+        sim = MemoryControllerSim(config, policy, list(workload), lut)
+        result = sim.run_legacy(max_cycles=args.max_cycles)
+    else:
+        engine = EventDrivenEngine(config, policy, workload, lut)
+        result = engine.run(max_cycles=args.max_cycles)
+    wall_s = time.perf_counter() - start
+
+    _log.info("trace: %s", args.trace)
+    _log.info(
+        "engine: %s  policy: %s  timing: %s  %dch x %d banks/die x %d dies",
+        "legacy" if args.legacy else "event",
+        result.policy_name,
+        args.timing,
+        args.channels,
+        args.banks_per_die,
+        args.dies,
+    )
+    _log.info(
+        "  %d requests (%d RD / %d WR) in %d cycles (%.2f us)",
+        result.completed,
+        result.reads,
+        result.writes,
+        result.cycles,
+        result.runtime_us,
+    )
+    _log.info(
+        "  bandwidth %.3f reads/clk, mean latency %.1f cycles, "
+        "mean queue %.1f",
+        result.bandwidth_reads_per_clk,
+        result.mean_latency_cycles,
+        result.mean_queue_depth,
+    )
+    _log.info(
+        "  commands: %s",
+        "  ".join(f"{k}={v}" for k, v in result.commands.items()),
+    )
+    if result.max_ir_mv is not None:
+        _log.info("  max IR drop: %.2f mV", result.max_ir_mv)
+    if result.states_dropped:
+        _log.info(
+            "  state histogram overflow: %d cycles beyond the "
+            "%d-state cap",
+            result.states_dropped,
+            config.max_tracked_states,
+        )
+    if not result.finished:
+        _log.warning(
+            "  hit --max-cycles=%d before draining the trace", args.max_cycles
+        )
+    if args.energy:
+        power = {"ddr3": DDR3_POWER, "wideio": WIDEIO_POWER, "hmc": HMC_POWER}[
+            args.timing
+        ]
+        spec = CommandEnergySpec.from_power(
+            power, timing, banks_per_die=args.banks_per_die
+        )
+        report = energy_ledger(
+            result.commands,
+            result.state_occupancy,
+            power,
+            timing,
+            num_dies=args.dies,
+            banks_per_die=args.banks_per_die,
+            states_dropped=result.states_dropped,
+        )
+        _log.info("  energy (command path): %.1f nJ", report.command_total_nj)
+        _log.info(
+            "  energy (occupancy path): %.1f nJ  (mismatch %.1f%%)",
+            report.occupancy_nj,
+            100.0 * report.mismatch_fraction,
+        )
+        _log.info(
+            "  per-command charge: %s",
+            "  ".join(
+                f"{c}={spec.energy_nj(c):.2f}nJ"
+                for c in ("ACT", "PRE", "RD", "WR", "REF")
+            ),
+        )
+    _log.info(
+        "  wall %.2f s  (%.0f requests/s)",
+        wall_s,
+        result.completed / wall_s if wall_s > 0 else float("inf"),
+    )
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Unified benchmark runner + regression gate (see docs/benchmarks.md)."""
     from repro.bench import (
@@ -671,6 +835,90 @@ def build_parser() -> argparse.ArgumentParser:
         "plan JSON file",
     )
     plan_p.set_defaults(func=_cmd_plan)
+
+    sim_p = sub.add_parser(
+        "sim",
+        help="run the event-driven memory controller on a trace file",
+        parents=[common],
+    )
+    sim_p.add_argument(
+        "--trace",
+        required=True,
+        metavar="FILE",
+        help="memory trace (ramulator '0xADDR R|W' lines or DRAMPower "
+        "'cycle,command,die,bank,row' CSV)",
+    )
+    sim_p.add_argument(
+        "--format",
+        choices=("auto", "ramulator", "drampower"),
+        default="auto",
+        help="trace format (auto: .csv -> drampower, else ramulator)",
+    )
+    sim_p.add_argument(
+        "--policy",
+        choices=("standard", "ir_fcfs", "ir_distr"),
+        default="standard",
+        help="scheduling policy (IR-aware ones need --lut)",
+    )
+    sim_p.add_argument(
+        "--lut",
+        metavar="FILE",
+        help="serialized IR-drop table (IRDropLUT.to_json) for the "
+        "IR-aware policies",
+    )
+    sim_p.add_argument(
+        "--constraint",
+        type=float,
+        default=30.0,
+        metavar="MV",
+        help="IR-drop constraint in mV for the IR-aware policies",
+    )
+    sim_p.add_argument(
+        "--timing",
+        choices=_SIM_TIMINGS,
+        default="ddr3",
+        help="timing preset (default ddr3 = DDR3-1600)",
+    )
+    sim_p.add_argument("--dies", type=int, default=4, metavar="N")
+    sim_p.add_argument("--banks-per-die", type=int, default=8, metavar="N")
+    sim_p.add_argument("--channels", type=int, default=1, metavar="N")
+    sim_p.add_argument("--queue-depth", type=int, default=32, metavar="N")
+    sim_p.add_argument(
+        "--max-banks-per-die",
+        type=int,
+        default=2,
+        metavar="N",
+        help="interleave limit (section 2.3's charge-pump cap)",
+    )
+    sim_p.add_argument("--close-window", type=int, default=8, metavar="N")
+    sim_p.add_argument(
+        "--refresh",
+        action="store_true",
+        help="issue periodic per-die refreshes (tREFI/tRFC)",
+    )
+    sim_p.add_argument(
+        "--arrival-interval",
+        type=float,
+        default=1.0,
+        metavar="CLK",
+        help="synthesized request spacing for timestamp-free ramulator "
+        "traces (default 1.0 = one per cycle)",
+    )
+    sim_p.add_argument(
+        "--max-cycles", type=int, default=50_000_000, metavar="N"
+    )
+    sim_p.add_argument(
+        "--legacy",
+        action="store_true",
+        help="run the original per-cycle loop instead (cross-checking; "
+        "materializes the whole trace in memory)",
+    )
+    sim_p.add_argument(
+        "--energy",
+        action="store_true",
+        help="append the per-command energy ledger to the report",
+    )
+    sim_p.set_defaults(func=_cmd_sim)
 
     bench_p = sub.add_parser(
         "bench",

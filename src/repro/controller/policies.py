@@ -16,7 +16,9 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections import deque
-from typing import Deque, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.controller.lut import IRDropLUT
 from repro.controller.request import ReadRequest
@@ -37,7 +39,7 @@ class ReadPolicy(ABC):
         self,
         queued: Sequence[ReadRequest],
         active_counts: Tuple[int, ...],
-        is_ready=None,
+        is_ready: Optional[Callable[[ReadRequest], bool]] = None,
     ) -> List[ReadRequest]:
         """Queued requests in the priority order to consider this cycle.
 
@@ -90,6 +92,23 @@ class ReadPolicy(ABC):
         raising the surviving dies' I/O activity)."""
         return False
 
+    def admit_activations(
+        self,
+        dies: Sequence[int],
+        now: int,
+        active_counts: Tuple[int, ...],
+    ) -> List[bool]:
+        """Batched :meth:`may_activate` over one channel walk.
+
+        All queries share ``now`` and ``active_counts`` -- exactly the
+        situation inside a scheduler's per-cycle candidate walk, where
+        the state only changes once a command actually issues (which
+        ends the walk).  ``may_activate`` must therefore behave as a
+        pure predicate of ``(die, now, counts)``; the default simply
+        loops, and LUT-backed policies override with a vectorized
+        table probe."""
+        return [self.may_activate(d, now, active_counts) for d in dies]
+
     def max_ir_of_state(self, counts: Tuple[int, ...]) -> Optional[float]:
         """IR drop the policy attributes to a state (None if unaware)."""
         return None
@@ -122,7 +141,7 @@ class StandardJEDEC(ReadPolicy):
         self,
         queued: Sequence[ReadRequest],
         active_counts: Tuple[int, ...],
-        is_ready=None,
+        is_ready: Optional[Callable[[ReadRequest], bool]] = None,
     ) -> List[ReadRequest]:
         return list(queued)  # queue keeps arrival order: FCFS
 
@@ -167,7 +186,7 @@ class IRAwareFCFS(ReadPolicy):
         self,
         queued: Sequence[ReadRequest],
         active_counts: Tuple[int, ...],
-        is_ready=None,
+        is_ready: Optional[Callable[[ReadRequest], bool]] = None,
     ) -> List[ReadRequest]:
         return list(queued)
 
@@ -189,6 +208,27 @@ class IRAwareFCFS(ReadPolicy):
             active_counts, self.constraint_mv
         )
 
+    def admit_activations(
+        self,
+        dies: Sequence[int],
+        now: int,
+        active_counts: Tuple[int, ...],
+    ) -> List[bool]:
+        """One dense-table probe for the whole candidate walk.
+
+        Builds the speculative +1 state per die and asks the LUT's
+        batched path; identical to calling :meth:`may_activate` per die
+        because ``allows_batch`` reads the same precomputed table (and
+        treats over-the-interleave-cap states as not allowed, matching
+        the scalar guard)."""
+        if not dies:
+            return []
+        batch = np.tile(
+            np.asarray(active_counts, dtype=np.int64), (len(dies), 1)
+        )
+        batch[np.arange(len(dies)), np.asarray(dies, dtype=np.int64)] += 1
+        return list(self.lut.allows_batch(batch, self.constraint_mv))
+
     def max_ir_of_state(self, counts: Tuple[int, ...]) -> Optional[float]:
         return self.lut.lookup(counts)
 
@@ -207,7 +247,7 @@ class IRAwareDistR(IRAwareFCFS):
         self,
         queued: Sequence[ReadRequest],
         active_counts: Tuple[int, ...],
-        is_ready=None,
+        is_ready: Optional[Callable[[ReadRequest], bool]] = None,
     ) -> List[ReadRequest]:
         # Requests whose row is already open issue first (they drain the
         # queue without new activations); among the rest, the request

@@ -1,4 +1,4 @@
-"""Cycle-by-cycle memory controller simulation engine.
+"""Cycle-by-cycle memory controller simulation (legacy reference engine).
 
 Implements the paper's simulator (section 2.3): per-bank FSMs, per-channel
 command/data buses, a bounded priority queue, nominal arrivals every N
@@ -18,83 +18,48 @@ priority order and issues at most one command per channel:
   receive further read requests in a few cycles, the bank is closed to
   reduce IR drop").
 
-The engine skips cycles in which nothing can change (event skipping), so a
-10,000-request run finishes in well under a second.
+.. deprecated::
+    :class:`MemoryControllerSim` is now a thin compatibility shim: its
+    :meth:`~MemoryControllerSim.run` delegates to the event-driven
+    :class:`repro.controller.engine.EventDrivenEngine`, which reproduces
+    this loop's decisions exactly (see ``tests/test_engine_equivalence.py``)
+    at a fraction of the per-request cost.  The original per-cycle loop
+    remains available as :meth:`~MemoryControllerSim.run_legacy` — it is
+    the reference implementation for the equivalence harness and the
+    baseline for ``benchmarks/bench_controller_throughput.py``.  New code
+    should construct :class:`~repro.controller.engine.EventDrivenEngine`
+    directly (it also accepts streaming trace workloads).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.controller.engine import (
+    EventDrivenEngine,
+    OccupancyAccumulator,
+    SimConfig,
+    SimResult,
+)
 from repro.controller.lut import IRDropLUT
 from repro.controller.policies import ReadPolicy, StandardJEDEC
 from repro.controller.queue import RequestQueue
 from repro.controller.request import ReadRequest
 from repro.dram.bank import Bank, BankState
 from repro.dram.channel import ChannelBus
-from repro.dram.timing import TimingParams
 from repro.errors import SimulationError
 from repro.obs import metrics as _metrics
 from repro.obs.trace import span
 
-
-@dataclass(frozen=True)
-class SimConfig:
-    """Structural parameters of the simulated memory system."""
-
-    timing: TimingParams
-    num_dies: int = 4
-    banks_per_die: int = 8
-    num_channels: int = 1
-    queue_depth: int = 32
-    #: interleave limit: max simultaneously active banks per die
-    #: ("interleaving mode reads two banks per die in maximum to avoid
-    #: current overdrawn from charge pump", section 2.3).
-    max_banks_per_die: int = 2
-    #: optional per-(die, channel) interleave limit for multi-channel
-    #: parts (Wide I/O, HMC): the charge-pump limit is per channel there,
-    #: while max_banks_per_die caps the die aggregate.
-    max_banks_per_channel: Optional[int] = None
-    #: idle cycles after which an open bank is precharged.
-    close_window: int = 8
-    #: issue periodic per-die refreshes (tREFI / tRFC).  Off by default:
-    #: the paper's study is refresh-free; enable for realism studies.
-    refresh_enabled: bool = False
-
-    def channel_of(self, bank: int) -> int:
-        """Bank -> channel mapping (banks striped across channels)."""
-        return bank * self.num_channels // self.banks_per_die
-
-
-@dataclass
-class SimResult:
-    """Outcome of one simulation run."""
-
-    policy_name: str
-    cycles: int
-    runtime_us: float
-    completed: int
-    bandwidth_reads_per_clk: float
-    max_ir_mv: Optional[float]
-    activations: int
-    precharges: int
-    refreshes: int
-    state_occupancy: Dict[Tuple[int, ...], int]
-    mean_queue_depth: float
-    mean_latency_cycles: float
-    finished: bool
-
-    def __str__(self) -> str:  # pragma: no cover - repr convenience
-        ir = f"{self.max_ir_mv:.2f} mV" if self.max_ir_mv is not None else "n/a"
-        return (
-            f"{self.policy_name}: {self.runtime_us:.2f} us, "
-            f"{self.bandwidth_reads_per_clk:.3f} reads/clk, max IR {ir}"
-        )
+__all__ = ["SimConfig", "SimResult", "MemoryControllerSim"]
 
 
 class MemoryControllerSim:
-    """One simulation run: a workload through a policy on a memory system."""
+    """One simulation run: a workload through a policy on a memory system.
+
+    Compatibility shim — see the module docstring.  ``run()`` uses the
+    event-driven engine; ``run_legacy()`` is the original per-cycle loop.
+    """
 
     def __init__(
         self,
@@ -129,20 +94,28 @@ class MemoryControllerSim:
             counts.append(n)
         return tuple(counts)
 
-    # -- main loop ------------------------------------------------------------------
+    # -- entry points ----------------------------------------------------------------
 
     def run(self, max_cycles: int = 5_000_000) -> SimResult:
         """Simulate until every request completes (or ``max_cycles``).
 
-        The run executes inside a ``sim.run`` trace span; completion
-        pushes queue-depth, cycle-count, and command-mix metrics into
-        the global registry (merged across worker processes when the
-        simulation itself runs inside a fanned-out sweep).
+        Delegates to the event-driven engine (decision-equivalent to the
+        legacy loop, ~20x+ faster); the run executes inside a ``sim.run``
+        trace span and pushes queue-depth, cycle-count, and command-mix
+        metrics into the global registry.
         """
+        engine = EventDrivenEngine(
+            self.config, self.policy, self.workload, self.report_lut
+        )
+        return engine.run(max_cycles)
+
+    def run_legacy(self, max_cycles: int = 5_000_000) -> SimResult:
+        """The original per-cycle loop (reference implementation)."""
         with span(
             "sim.run",
             policy=self.policy.name,
             requests=len(self.workload),
+            engine="legacy",
         ):
             result = self._run(max_cycles)
         _metrics.inc("sim.runs")
@@ -150,7 +123,11 @@ class MemoryControllerSim:
         _metrics.inc("sim.activations", result.activations)
         _metrics.observe("sim.mean_queue_depth", result.mean_queue_depth)
         _metrics.observe("sim.cycles", float(result.cycles))
+        if result.states_dropped:
+            _metrics.inc("sim.states.dropped", result.states_dropped)
         return result
+
+    # -- main loop ------------------------------------------------------------------
 
     def _run(self, max_cycles: int) -> SimResult:
         cfg = self.config
@@ -168,6 +145,8 @@ class MemoryControllerSim:
         activations = 0
         precharges = 0
         refreshes = 0
+        reads = 0
+        writes = 0
         # Refresh bookkeeping: deadlines staggered across dies, and the
         # cycle until which a refreshing die's banks are unavailable.
         next_refresh = [
@@ -176,10 +155,10 @@ class MemoryControllerSim:
         ]
         refresh_blocked_until = [0] * cfg.num_dies
         last_activity: Dict[Tuple[int, int], int] = {}
-        state_occupancy: Dict[Tuple[int, ...], int] = {}
+        occupancy = OccupancyAccumulator(cfg.max_tracked_states)
         latency_sum = 0
-        read_states = set()  # states in effect when a READ issued
-        command_states = set()  # states created by ACT commands
+        read_states: Set[Tuple[int, ...]] = set()  # states in effect when a READ issued
+        command_states: Set[Tuple[int, ...]] = set()  # states created by ACT commands
         now = 0
         prev_now = 0
         last_state: Optional[Tuple[int, ...]] = None
@@ -201,15 +180,13 @@ class MemoryControllerSim:
             counts = self._active_counts(banks, now)
             # Occupancy accounting: the state held since prev_now.
             if last_state is not None and now > prev_now:
-                state_occupancy[last_state] = (
-                    state_occupancy.get(last_state, 0) + now - prev_now
-                )
+                occupancy.add(last_state, now - prev_now)
                 queue.sample_occupancy(now - prev_now)
             prev_now = now
             last_state = counts
 
             issued_any = False
-            used_channels = set()
+            used_channels: Set[int] = set()
 
             # --- refresh (per die, staggered deadlines) -------------------
             refresh_due = [
@@ -232,7 +209,7 @@ class MemoryControllerSim:
                             blocked = now + cfg.timing.tRFC
                             refresh_blocked_until[die] = blocked
                             for bank in die_banks:
-                                bank.ready_cycle = max(bank.ready_cycle, blocked)
+                                bank.block_for_refresh(now)
                             next_refresh[die] += cfg.timing.tREFI
                             refreshes += 1
                             issued_any = True
@@ -268,9 +245,11 @@ class MemoryControllerSim:
                     if req.is_write:
                         end = chan.issue_write(now)
                         bank.write(now, req.row)
+                        writes += 1
                     else:
                         end = chan.issue_read(now)
                         bank.read(now, req.row)
+                        reads += 1
                     req.issue_cycle = now
                     req.complete_cycle = end
                     latency_sum += end - req.arrival_cycle
@@ -386,9 +365,7 @@ class MemoryControllerSim:
 
         # Final occupancy flush.
         if last_state is not None and now > prev_now:
-            state_occupancy[last_state] = (
-                state_occupancy.get(last_state, 0) + now - prev_now
-            )
+            occupancy.add(last_state, now - prev_now)
 
         finished = completed >= total
         cycles = now
@@ -403,13 +380,16 @@ class MemoryControllerSim:
             activations=activations,
             precharges=precharges,
             refreshes=refreshes,
-            state_occupancy=state_occupancy,
+            state_occupancy=occupancy.table,
             mean_queue_depth=queue.mean_occupancy,
             mean_latency_cycles=latency_sum / completed if completed else 0.0,
             finished=finished,
+            reads=reads,
+            writes=writes,
+            states_dropped=occupancy.dropped,
         )
 
-    def _max_visited_ir(self, states) -> Optional[float]:
+    def _max_visited_ir(self, states: Set[Tuple[int, ...]]) -> Optional[float]:
         """Worst IR over states in effect while commands/reads flowed.
 
         States reached only by drift (banks closing elsewhere) with no

@@ -1,7 +1,14 @@
 """DRAM device models: timing parameters, bank FSMs, channel buses."""
 
-from repro.dram.timing import TimingParams
+from repro.dram.timing import COMMANDS, CommandTiming, TimingParams
 from repro.dram.bank import Bank, BankState
 from repro.dram.channel import ChannelBus
 
-__all__ = ["TimingParams", "Bank", "BankState", "ChannelBus"]
+__all__ = [
+    "COMMANDS",
+    "CommandTiming",
+    "TimingParams",
+    "Bank",
+    "BankState",
+    "ChannelBus",
+]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 from repro.dram.timing import TimingParams
 from repro.errors import SimulationError
@@ -86,7 +86,7 @@ class Bank:
         """Earliest future cycle at which this bank's options change
         (used by the simulator's event skipping)."""
         self.sync(now)
-        candidates = []
+        candidates: List[int] = []
         if self.state in (BankState.ACTIVATING, BankState.PRECHARGING):
             candidates.append(self.ready_cycle)
         elif self.state is BankState.ACTIVE:
@@ -146,3 +146,16 @@ class Bank:
         self.state = BankState.PRECHARGING
         self.open_row = None
         self.ready_cycle = now + self.timing.tRP
+
+    def block_for_refresh(self, now: int) -> int:
+        """Hold the (idle) bank unavailable while its die refreshes.
+
+        Returns the cycle at which the bank becomes usable again
+        (``now`` + tRFC).  Refresh is a die-level command: the
+        per-die scheduling (tREFI deadlines, all-banks-idle gating)
+        lives in the controller engine; the bank only records the
+        blackout.
+        """
+        blocked = now + self.timing.tRFC
+        self.ready_cycle = max(self.ready_cycle, blocked)
+        return blocked

@@ -14,8 +14,31 @@ paper's 109.3 us standard-policy runtime equals 87,440 cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Tuple
 
 from repro.errors import ConfigurationError
+
+#: The commands the controller can issue, in the order the per-command
+#: tables report them.  ``RD``/``WR`` are column commands; ``REF`` is the
+#: per-die all-bank refresh.
+COMMANDS: Tuple[str, ...] = ("ACT", "PRE", "RD", "WR", "REF")
+
+
+@dataclass(frozen=True)
+class CommandTiming:
+    """Timing of one command, resolved from :class:`TimingParams`.
+
+    ``latency`` is the cycle count until the command's effect completes
+    (row open for ACT, bank idle for PRE, burst end for RD/WR, bank
+    available for REF); ``bus_cycles`` is the data-bus occupancy (zero
+    for non-column commands).  ``min_gap`` is the minimum spacing to the
+    next *same* command on the same resource (tCCD for column commands).
+    """
+
+    name: str
+    latency: int
+    bus_cycles: int = 0
+    min_gap: int = 1
 
 
 @dataclass(frozen=True)
@@ -55,6 +78,41 @@ class TimingParams:
     def cycles_to_us(self, cycles: int) -> float:
         """Convert a cycle count to microseconds."""
         return cycles / self.clock_mhz
+
+    def command_table(self) -> Dict[str, CommandTiming]:
+        """Explicit per-command timing table (ACT/PRE/RD/WR/REF).
+
+        One authoritative place for the per-command latencies that used
+        to live as scattered ``tXX`` reads across the bank FSM, the
+        channel bus, and the simulator; the event-driven engine and the
+        per-command energy ledger both resolve commands through it.
+        """
+        return {
+            "ACT": CommandTiming("ACT", latency=self.tRCD, min_gap=self.tRRD),
+            "PRE": CommandTiming("PRE", latency=self.tRP),
+            "RD": CommandTiming(
+                "RD",
+                latency=self.tCL + self.burst_cycles,
+                bus_cycles=self.burst_cycles,
+                min_gap=self.tCCD,
+            ),
+            "WR": CommandTiming(
+                "WR",
+                latency=self.tCWL + self.burst_cycles,
+                bus_cycles=self.burst_cycles,
+                min_gap=self.tCCD,
+            ),
+            "REF": CommandTiming("REF", latency=self.tRFC, min_gap=self.tREFI),
+        }
+
+    def command_duration_us(self, command: str) -> float:
+        """Wall-time footprint of one command (for energy accounting)."""
+        table = self.command_table()
+        if command not in table:
+            raise ConfigurationError(
+                f"unknown DRAM command {command!r}", known=COMMANDS
+            )
+        return self.cycles_to_us(table[command].latency)
 
     @classmethod
     def ddr3_1600(cls) -> "TimingParams":

@@ -70,6 +70,15 @@ class SimulationError(ReproError):
     """The memory controller simulation reached an inconsistent state."""
 
 
+class TraceError(ReproError):
+    """A memory trace file could not be parsed.
+
+    Raised with ``path`` and ``line`` context so a malformed line deep in
+    a multi-million-line trace is reported as ``path:line`` with the
+    offending text.
+    """
+
+
 class RegressionError(ReproError):
     """Regression fitting failed or produced an unusable model."""
 

@@ -14,12 +14,12 @@ from repro.controller import (
     IRAwareDistR,
     IRAwareFCFS,
     IRDropLUT,
-    MemoryControllerSim,
     SimConfig,
     StandardJEDEC,
     WorkloadConfig,
     generate_workload,
 )
+from repro.controller.engine import EventDrivenEngine
 from repro.designs import hmc
 from repro.dram.timing import TimingParams
 from repro.experiments.base import ExperimentResult, Row, register
@@ -63,7 +63,7 @@ def run(fast: bool = True) -> ExperimentResult:
         IRAwareFCFS(lut, constraint),
         IRAwareDistR(lut, constraint),
     ):
-        res = MemoryControllerSim(cfg, policy, workload(), report_lut=lut).run()
+        res = EventDrivenEngine(cfg, policy, workload(), report_lut=lut).run()
         rows.append(
             Row(
                 label=policy.name,

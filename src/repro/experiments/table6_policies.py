@@ -15,11 +15,11 @@ from repro.controller import (
     IRAwareDistR,
     IRAwareFCFS,
     IRDropLUT,
-    MemoryControllerSim,
     SimConfig,
     StandardJEDEC,
     generate_workload,
 )
+from repro.controller.engine import EventDrivenEngine
 from repro.designs import off_chip_ddr3
 from repro.dram.timing import TimingParams
 from repro.experiments.base import ExperimentResult, Row, register
@@ -50,7 +50,7 @@ def run(fast: bool = True) -> ExperimentResult:
     rows = []
     std_runtime = None
     for policy in policies:
-        res = MemoryControllerSim(
+        res = EventDrivenEngine(
             cfg, policy, generate_workload(), report_lut=lut
         ).run()
         p_rt, p_bw, p_ir = PAPER[policy.name]

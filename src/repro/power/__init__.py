@@ -7,14 +7,26 @@ See DESIGN.md section 2 for the substitution rationale.
 """
 
 from repro.power.state import MemoryState
-from repro.power.model import DramPowerSpec, LogicPowerSpec, die_power_mw
+from repro.power.model import (
+    CommandEnergySpec,
+    DramPowerSpec,
+    EnergyReport,
+    LogicPowerSpec,
+    die_power_mw,
+    energy_ledger,
+    state_power_mw,
+)
 from repro.power.powermap import PowerMap, dram_power_map, logic_power_map
 
 __all__ = [
     "MemoryState",
+    "CommandEnergySpec",
     "DramPowerSpec",
+    "EnergyReport",
     "LogicPowerSpec",
     "die_power_mw",
+    "energy_ledger",
+    "state_power_mw",
     "PowerMap",
     "dram_power_map",
     "logic_power_map",

@@ -38,6 +38,7 @@ from typing import Dict
 
 from repro.errors import ConfigurationError
 from repro.floorplan.blocks import BlockType, DieFloorplan
+from repro.dram.timing import TimingParams
 from repro.power.state import MemoryState
 
 
@@ -205,3 +206,160 @@ HMC_LOGIC_POWER = LogicPowerSpec(
     },
     background_mw=400.0,
 )
+
+
+# -- per-command energy ledger ------------------------------------------------
+#
+# The controller engine reports per-command issue counts
+# (``SimResult.commands``) alongside the state-occupancy histogram.  The
+# ledger turns both into energy through the same power constants and
+# reconciles them: the command path charges each ACT/PRE/RD/WR/REF its
+# per-command energy on top of the standby background, while the
+# occupancy path integrates state power over the cycles each memory
+# state was held.  The two are independent estimates of the same run --
+# the command path resolves *edges* (what was issued), the occupancy
+# path resolves *levels* (what was held active) -- so their residual is
+# a calibration diagnostic, not an error.
+
+
+def state_power_mw(
+    spec: DramPowerSpec, counts: "tuple[int, ...]", activity: float = 1.0
+) -> float:
+    """Closed-form stack power of a memory state given per-die active
+    bank counts (the floorplan-free analogue of :func:`stack_power_mw`,
+    uniform activity, one channel per die)."""
+    if not 0.0 <= activity <= 1.0:
+        raise ConfigurationError(f"activity must be in [0, 1], got {activity}")
+    total = len(counts) * spec.standby_mw
+    for c in counts:
+        if c < 0:
+            raise ConfigurationError("active bank counts must be >= 0")
+        if c:
+            total += spec.io_base_mw + activity * spec.io_dyn_mw
+            total += c * (spec.bank_static_mw + activity * spec.bank_dyn_mw)
+    return total
+
+
+@dataclass(frozen=True)
+class CommandEnergySpec:
+    """Energy per DRAM command, nJ (1 mW x 1 us).
+
+    Built from the calibrated die power constants and a timing profile:
+    each command's charge is its characteristic power times its timing
+    footprint (tRCD for ACT, tRP for PRE, latency+burst for RD/WR, tRFC
+    for REF across all banks of the die).
+    """
+
+    act_nj: float
+    pre_nj: float
+    rd_nj: float
+    wr_nj: float
+    ref_nj: float
+
+    @classmethod
+    def from_power(
+        cls,
+        spec: DramPowerSpec,
+        timing: "TimingParams",
+        banks_per_die: int = 8,
+        activity: float = 1.0,
+    ) -> "CommandEnergySpec":
+        bank_mw = spec.bank_static_mw + spec.bank_dyn_mw
+        burst_mw = activity * spec.io_dyn_mw + spec.bank_dyn_mw
+        return cls(
+            act_nj=bank_mw * timing.command_duration_us("ACT"),
+            pre_nj=bank_mw * timing.command_duration_us("PRE"),
+            rd_nj=burst_mw * timing.command_duration_us("RD"),
+            wr_nj=burst_mw * timing.command_duration_us("WR"),
+            ref_nj=banks_per_die * bank_mw * timing.command_duration_us("REF"),
+        )
+
+    def energy_nj(self, command: str) -> float:
+        try:
+            return {
+                "ACT": self.act_nj,
+                "PRE": self.pre_nj,
+                "RD": self.rd_nj,
+                "WR": self.wr_nj,
+                "REF": self.ref_nj,
+            }[command]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown DRAM command {command!r}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Reconciled energy accounting of one simulation run (all nJ)."""
+
+    #: command-path split: standby background + per-command charges.
+    background_nj: float
+    per_command_nj: Dict[str, float]
+    #: occupancy-path integral of state power over held cycles.
+    occupancy_nj: float
+    #: cycles spent in untracked states (``SimResult.states_dropped``),
+    #: charged at the idle floor in the occupancy path.
+    unattributed_cycles: int
+
+    @property
+    def command_total_nj(self) -> float:
+        return self.background_nj + sum(self.per_command_nj.values())
+
+    @property
+    def mismatch_fraction(self) -> float:
+        """Signed residual of the command path vs the occupancy path."""
+        if self.occupancy_nj == 0.0:
+            return 0.0
+        return (self.command_total_nj - self.occupancy_nj) / self.occupancy_nj
+
+    def summary(self) -> str:
+        cmds = ", ".join(
+            f"{k}={v:.0f}" for k, v in sorted(self.per_command_nj.items())
+        )
+        return (
+            f"command path {self.command_total_nj:.0f} nJ "
+            f"(background {self.background_nj:.0f}; {cmds}) vs "
+            f"occupancy path {self.occupancy_nj:.0f} nJ "
+            f"({self.mismatch_fraction:+.1%})"
+        )
+
+
+def energy_ledger(
+    commands: Dict[str, int],
+    state_occupancy: Dict["tuple[int, ...]", int],
+    spec: DramPowerSpec,
+    timing: "TimingParams",
+    num_dies: int,
+    banks_per_die: int = 8,
+    activity: float = 1.0,
+    states_dropped: int = 0,
+) -> EnergyReport:
+    """Build the reconciled :class:`EnergyReport` for one run.
+
+    ``commands`` and ``state_occupancy`` come straight from
+    ``SimResult.commands`` / ``SimResult.state_occupancy``;
+    ``states_dropped`` (cycles beyond the tracking cap) is charged at the
+    idle floor so long trace runs stay conservative rather than lossy.
+    """
+    energies = CommandEnergySpec.from_power(
+        spec, timing, banks_per_die=banks_per_die, activity=activity
+    )
+    total_cycles = sum(state_occupancy.values()) + states_dropped
+    runtime_us = timing.cycles_to_us(total_cycles)
+    background_nj = num_dies * spec.standby_mw * runtime_us
+    per_command = {
+        cmd: count * energies.energy_nj(cmd)
+        for cmd, count in commands.items()
+        if count
+    }
+    occupancy_nj = 0.0
+    for counts, cycles in state_occupancy.items():
+        occupancy_nj += state_power_mw(spec, counts, activity) * timing.cycles_to_us(cycles)
+    occupancy_nj += num_dies * spec.standby_mw * timing.cycles_to_us(states_dropped)
+    return EnergyReport(
+        background_nj=background_nj,
+        per_command_nj=per_command,
+        occupancy_nj=occupancy_nj,
+        unattributed_cycles=states_dropped,
+    )

@@ -71,5 +71,11 @@ def ddr3_lut(ddr3_stack):
 
 
 @pytest.fixture(scope="session")
+def ddr3_lut_json(ddr3_lut):
+    """The DDR3 LUT serialized as firmware-style JSON."""
+    return ddr3_lut.to_json()
+
+
+@pytest.fixture(scope="session")
 def ddr3_floorplan(ddr3_off_bench):
     return ddr3_off_bench.stack.dram_floorplan

@@ -134,3 +134,58 @@ class TestExplainCommand:
         out = capsys.readouterr().out
         assert "# attribution drift" in out
         assert "attribution: unchanged" in out
+
+
+class TestSimCommand:
+    FIXTURE = "tests/data/ramulator_1k.trace"
+    CSV_FIXTURE = "tests/data/drampower_1k.csv"
+
+    def test_sim_ramulator_fixture(self, capsys):
+        assert main(["sim", "--trace", self.FIXTURE]) == 0
+        out = capsys.readouterr().out
+        assert "1000 requests" in out
+        assert "engine: event" in out
+        assert "ACT=" in out
+
+    def test_sim_drampower_fixture_with_energy(self, capsys):
+        assert main(["sim", "--trace", self.CSV_FIXTURE, "--energy"]) == 0
+        out = capsys.readouterr().out
+        assert "1000 requests" in out
+        assert "energy (command path):" in out
+        assert "energy (occupancy path):" in out
+
+    def test_sim_legacy_agrees_with_event(self, capsys):
+        assert main(["sim", "--trace", self.FIXTURE]) == 0
+        event_out = capsys.readouterr().out
+        assert main(["sim", "--trace", self.FIXTURE, "--legacy"]) == 0
+        legacy_out = capsys.readouterr().out
+        pick = lambda s: [  # noqa: E731
+            ln for ln in s.splitlines()
+            if "requests (" in ln or "commands:" in ln or "bandwidth" in ln
+        ]
+        assert pick(event_out) == pick(legacy_out)
+
+    def test_sim_ir_policy_needs_lut(self, capsys):
+        assert main(["sim", "--trace", self.FIXTURE, "--policy", "ir_fcfs"]) == 2
+        captured = capsys.readouterr()
+        assert "--lut" in captured.out + captured.err
+
+    def test_sim_ir_policy_with_lut(self, capsys, tmp_path, ddr3_lut_json):
+        lut_path = tmp_path / "lut.json"
+        lut_path.write_text(ddr3_lut_json)
+        assert main([
+            "sim", "--trace", self.FIXTURE,
+            "--policy", "ir_distr", "--lut", str(lut_path),
+            "--constraint", "24.0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ir_distr" in out
+        assert "max IR drop:" in out
+
+    def test_sim_malformed_trace_reports_context(self, tmp_path):
+        from repro.errors import TraceError
+
+        bad = tmp_path / "bad.trace"
+        bad.write_text("0x0 R\nnot a line\n")
+        with pytest.raises(TraceError):
+            main(["sim", "--trace", str(bad)])

@@ -108,3 +108,114 @@ class TestLogicSpec:
         fp = t2_logic_floorplan()
         spec = LogicPowerSpec(per_block_mw={BlockType.CORE: 100.0}, background_mw=50.0)
         assert spec.total_mw(fp) == pytest.approx(50.0 + 8 * 100.0)
+
+
+class TestCommandEnergy:
+    """Per-command energy ledger: arithmetic spot checks and the
+    reconciliation between the command and occupancy paths."""
+
+    @pytest.fixture(scope="class")
+    def timing(self):
+        from repro.dram.timing import TimingParams
+
+        return TimingParams.ddr3_1600()
+
+    def test_per_command_charges(self, timing):
+        from repro.power.model import CommandEnergySpec
+
+        spec = CommandEnergySpec.from_power(DDR3_POWER, timing)
+        bank_mw = DDR3_POWER.bank_static_mw + DDR3_POWER.bank_dyn_mw
+        # ACT charge = active-bank power over the tRCD footprint.
+        assert spec.act_nj == pytest.approx(
+            bank_mw * timing.command_duration_us("ACT")
+        )
+        # REF restores every bank of the die.
+        assert spec.ref_nj == pytest.approx(
+            8 * bank_mw * timing.command_duration_us("REF")
+        )
+        with pytest.raises(ConfigurationError):
+            spec.energy_nj("NOP")
+
+    def test_state_power_matches_anchor(self):
+        from repro.power.model import state_power_mw
+
+        # Table 5 calibration: idle stack 4 x 27 mW; the 0-0-0-2 state's
+        # active die adds io_base + 2 banks.
+        assert state_power_mw(DDR3_POWER, (0, 0, 0, 0)) == pytest.approx(4 * 27.0)
+        assert state_power_mw(DDR3_POWER, (0, 0, 0, 2)) == pytest.approx(
+            4 * 27.0 + 23.5 + 2 * (40.0 + 45.0)
+        )
+
+    def test_ledger_arithmetic(self, timing):
+        from repro.power.model import energy_ledger
+
+        commands = {"ACT": 10, "PRE": 10, "RD": 50, "WR": 0, "REF": 0}
+        occupancy = {(0, 0, 0, 0): 700, (1, 0, 0, 0): 300}
+        report = energy_ledger(
+            commands, occupancy, DDR3_POWER, timing, num_dies=4
+        )
+        runtime_us = timing.cycles_to_us(1000)
+        assert report.background_nj == pytest.approx(4 * 27.0 * runtime_us)
+        # Zero-count commands are dropped from the split.
+        assert set(report.per_command_nj) == {"ACT", "PRE", "RD"}
+        assert report.command_total_nj == pytest.approx(
+            report.background_nj + sum(report.per_command_nj.values())
+        )
+        assert report.occupancy_nj > 0
+        assert "command path" in report.summary()
+
+    def test_dropped_cycles_charged_at_idle_floor(self, timing):
+        from repro.power.model import energy_ledger
+
+        base = energy_ledger(
+            {}, {(0, 0, 0, 0): 500}, DDR3_POWER, timing, num_dies=4
+        )
+        dropped = energy_ledger(
+            {},
+            {(0, 0, 0, 0): 500},
+            DDR3_POWER,
+            timing,
+            num_dies=4,
+            states_dropped=500,
+        )
+        assert dropped.unattributed_cycles == 500
+        # Idle floor: the dropped half contributes exactly one more
+        # idle-state's worth of energy on both paths.
+        assert dropped.occupancy_nj == pytest.approx(2 * base.occupancy_nj)
+        assert dropped.background_nj == pytest.approx(2 * base.background_nj)
+
+    def test_idle_run_reconciles_exactly(self, timing):
+        from repro.power.model import energy_ledger
+
+        report = energy_ledger(
+            {}, {(0, 0, 0, 0): 1234}, DDR3_POWER, timing, num_dies=4
+        )
+        # An idle run has no per-command charges and the occupancy path
+        # is pure standby: the two paths agree exactly.
+        assert report.mismatch_fraction == pytest.approx(0.0)
+
+    def test_ledger_from_sim_result(self, timing):
+        """End to end: a real engine run's commands + histogram feed the
+        ledger, and the two paths land within a calibration-level band."""
+        from repro.controller import (
+            SimConfig,
+            StandardJEDEC,
+            WorkloadConfig,
+            generate_workload,
+        )
+        from repro.controller.engine import EventDrivenEngine
+        from repro.power.model import energy_ledger
+
+        cfg = SimConfig(timing=timing)
+        wl = generate_workload(WorkloadConfig(num_requests=800, seed=9))
+        res = EventDrivenEngine(cfg, StandardJEDEC(timing), wl).run()
+        report = energy_ledger(
+            res.commands,
+            res.state_occupancy,
+            DDR3_POWER,
+            timing,
+            num_dies=4,
+            states_dropped=res.states_dropped,
+        )
+        assert report.command_total_nj > 0
+        assert abs(report.mismatch_fraction) < 0.25

@@ -128,6 +128,75 @@ class TestRefresh:
         assert res.max_ir_mv <= 24.0
 
 
+class TestRefreshConformance:
+    """tREFI/tRFC conformance, checked on both engines.
+
+    The spec contract: each die is refreshed once per tREFI window
+    (staggered across dies), and a refreshing die accepts no command
+    until tRFC has elapsed -- so no request issued on a die can overlap
+    an in-flight refresh there.
+    """
+
+    @pytest.fixture(scope="class")
+    def runs(self, timing):
+        cfg = SimConfig(timing=timing, refresh_enabled=True)
+        results = {}
+        for engine in ("legacy", "event"):
+            wl = generate_workload(WorkloadConfig(num_requests=2000, seed=13))
+            sim = MemoryControllerSim(cfg, StandardJEDEC(timing), wl)
+            res = sim.run_legacy() if engine == "legacy" else sim.run()
+            results[engine] = (res, wl)
+        return results
+
+    @pytest.mark.parametrize("engine", ["legacy", "event"])
+    def test_trefi_rate_per_die(self, timing, runs, engine):
+        res, _ = runs[engine]
+        cfg_dies = 4
+        windows = res.cycles // timing.tREFI
+        # One refresh per die per tREFI window, +/- the partial last
+        # window and the die stagger.
+        assert abs(res.refreshes - windows * cfg_dies) <= 2 * cfg_dies
+
+    def test_trfc_blackout_at_the_bank(self, timing):
+        """tRFC conformance at the bank FSM: a refreshing bank accepts no
+        ACT until tRFC has elapsed, and an already-pending ready time is
+        never shortened by the blackout."""
+        bank = Bank(0, 0, timing)
+        blocked_until = bank.block_for_refresh(100)
+        assert blocked_until == 100 + timing.tRFC
+        assert not bank.can_activate(blocked_until - 1)
+        assert bank.can_activate(blocked_until)
+        # A longer pre-existing ready time survives a shorter blackout.
+        bank2 = Bank(0, 1, timing)
+        bank2.ready_cycle = 100 + timing.tRFC + 50
+        assert bank2.block_for_refresh(100) == 100 + timing.tRFC
+        assert not bank2.can_activate(100 + timing.tRFC)
+        assert bank2.can_activate(100 + timing.tRFC + 50)
+
+    def test_refresh_delays_service(self, timing):
+        """Refresh blackouts are visible end to end: the same workload
+        takes longer with refresh enabled, on the event engine too."""
+        wl_a = generate_workload(WorkloadConfig(num_requests=2000, seed=13))
+        wl_b = generate_workload(WorkloadConfig(num_requests=2000, seed=13))
+        base = MemoryControllerSim(
+            SimConfig(timing=timing), StandardJEDEC(timing), wl_a
+        ).run()
+        refreshed = MemoryControllerSim(
+            SimConfig(timing=timing, refresh_enabled=True),
+            StandardJEDEC(timing),
+            wl_b,
+        ).run()
+        assert refreshed.cycles > base.cycles
+        assert refreshed.refreshes > 0
+
+    def test_engines_agree_under_refresh(self, timing, runs):
+        legacy, _ = runs["legacy"]
+        event, _ = runs["event"]
+        assert legacy.refreshes == event.refreshes
+        assert legacy.cycles == event.cycles
+        assert legacy.state_occupancy == event.state_occupancy
+
+
 class TestMultiChannel:
     def test_per_channel_cap_enforced(self, timing):
         """With 2 channels and a per-channel cap of 1, no more than one
